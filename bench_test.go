@@ -1,0 +1,259 @@
+// Benchmarks regenerating every table and figure of the Mayflower
+// paper's evaluation (§6). Each BenchmarkFigure* runs a scaled-down
+// version of the corresponding experiment per iteration and reports the
+// headline metric through b.ReportMetric, so `go test -bench=.` doubles
+// as a reproduction sweep:
+//
+//	Figure 4   replica/path selection comparison (normalized)
+//	Figure 5   client locality sweep
+//	Figure 6a  λ sweep, rack-heavy locality
+//	Figure 6b  λ sweep, core-heavy locality
+//	Figure 7   oversubscription impact
+//	Figure 8   prototype vs HDFS over the emulated network
+//	§4.3       multi-replica parallel reads
+//	Ablations  Eq. 2 impact term, update-freeze, poll interval
+//
+// Full-scale runs (paper-sized job counts, tables printed) come from
+// cmd/mayflower-sim and cmd/mayflower-bench; EXPERIMENTS.md records
+// paper-versus-measured numbers for each.
+package mayflower_test
+
+import (
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/experiment"
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+	"github.com/mayflower-dfs/mayflower/internal/workload"
+)
+
+// benchConfig is a reduced-scale experiment configuration that keeps a
+// single benchmark iteration well under a second.
+func benchConfig() experiment.Config {
+	cfg := experiment.Defaults(experiment.SchemeMayflower)
+	cfg.NumJobs = 400
+	cfg.WarmupJobs = 50
+	cfg.NumFiles = 150
+	return cfg
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	var lastRatio float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiment.Figure4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRatio = tbl.Rows[len(tbl.Rows)-1].AvgRatio // Nearest ECMP vs Mayflower
+	}
+	b.ReportMetric(lastRatio, "nearestECMP/mayflower")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumJobs = 300
+	cfg.WarmupJobs = 40
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, tbl := range tables {
+			for _, row := range tbl.Rows {
+				if row.AvgRatio > worst {
+					worst = row.AvgRatio
+				}
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-ratio")
+}
+
+func BenchmarkFigure6a(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumJobs = 250
+	cfg.WarmupJobs = 30
+	var mayflowerHigh float64
+	for i := 0; i < b.N; i++ {
+		sw, err := experiment.Figure6a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range sw.Points {
+			if p.Scheme == experiment.SchemeMayflower && p.X == 0.14 {
+				mayflowerHigh = p.Mean
+			}
+		}
+	}
+	b.ReportMetric(mayflowerHigh, "mayflower-mean-s@0.14")
+}
+
+func BenchmarkFigure6b(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumJobs = 250
+	cfg.WarmupJobs = 30
+	var mayflowerHigh float64
+	for i := 0; i < b.N; i++ {
+		sw, err := experiment.Figure6b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range sw.Points {
+			if p.Scheme == experiment.SchemeMayflower && p.X == 0.10 {
+				mayflowerHigh = p.Mean
+			}
+		}
+	}
+	b.ReportMetric(mayflowerHigh, "mayflower-mean-s@0.10")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumJobs = 300
+	cfg.WarmupJobs = 40
+	var growth float64
+	for i := 0; i < b.N; i++ {
+		sw, err := experiment.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var at8, at24 float64
+		for _, p := range sw.Points {
+			if p.Scheme == experiment.SchemeMayflower {
+				switch p.X {
+				case 8:
+					at8 = p.Mean
+				case 24:
+					at24 = p.Mean
+				}
+			}
+		}
+		if at8 > 0 {
+			growth = at24 / at8
+		}
+	}
+	b.ReportMetric(growth, "mean24:1/mean8:1")
+}
+
+func BenchmarkMultiReplica(b *testing.B) {
+	cfg := benchConfig()
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.MultiRead(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = res.MeanReductionPct
+	}
+	b.ReportMetric(reduction, "mean-reduction-%")
+}
+
+func BenchmarkAblateCostTerm(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.AblateCostTerm(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.MeanRatio
+	}
+	b.ReportMetric(ratio, "ablated/full-mean")
+}
+
+func BenchmarkAblateFreeze(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.AblateFreeze(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.MeanRatio
+	}
+	b.ReportMetric(ratio, "ablated/full-mean")
+}
+
+func BenchmarkAblatePollInterval(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumJobs = 250
+	cfg.WarmupJobs = 30
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		sw, err := experiment.PollSweep(cfg, []float64{0.25, 1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := sw.Points[0].Mean, sw.Points[0].Mean
+		for _, p := range sw.Points {
+			if p.Mean < lo {
+				lo = p.Mean
+			}
+			if p.Mean > hi {
+				hi = p.Mean
+			}
+		}
+		if lo > 0 {
+			spread = hi / lo
+		}
+	}
+	b.ReportMetric(spread, "worst/best-mean")
+}
+
+// BenchmarkFigure8 boots the full prototype (real servers, emulated
+// network) per iteration, so each iteration costs seconds of wall clock;
+// run with -benchtime=1x for a single reproduction pass.
+func BenchmarkFigure8(b *testing.B) {
+	modes := []testbed.Mode{testbed.ModeMayflower, testbed.ModeHDFSMayflower, testbed.ModeHDFSECMP}
+	var hdfsOverMayflower float64
+	for i := 0; i < b.N; i++ {
+		means := make(map[testbed.Mode]float64, len(modes))
+		for _, mode := range modes {
+			cfg := testbed.DefaultExperiment(mode)
+			cfg.NumJobs = 60
+			cfg.WarmupJobs = 10
+			cfg.NumFiles = 20
+			cfg.Locality = workload.LocalityRackHeavy
+			res, err := testbed.RunExperiment(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			means[mode] = res.Summary.Mean
+		}
+		if m := means[testbed.ModeMayflower]; m > 0 {
+			hdfsOverMayflower = means[testbed.ModeHDFSECMP] / m
+		}
+	}
+	b.ReportMetric(hdfsOverMayflower, "hdfsECMP/mayflower")
+}
+
+// BenchmarkBackgroundTraffic runs the cross-traffic robustness sweep:
+// Mayflower's mean at background load 1.0 over its mean at 0.
+func BenchmarkBackgroundTraffic(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumJobs = 300
+	cfg.WarmupJobs = 40
+	var degradation float64
+	for i := 0; i < b.N; i++ {
+		sw, err := experiment.BackgroundSweep(cfg, []float64{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var at0, at1 float64
+		for _, p := range sw.Points {
+			if p.Scheme == experiment.SchemeMayflower {
+				switch p.X {
+				case 0:
+					at0 = p.Mean
+				case 1:
+					at1 = p.Mean
+				}
+			}
+		}
+		if at0 > 0 {
+			degradation = at1 / at0
+		}
+	}
+	b.ReportMetric(degradation, "mean-bg1/bg0")
+}

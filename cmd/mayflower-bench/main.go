@@ -1,0 +1,111 @@
+// Command mayflower-bench runs the prototype (emulated-network)
+// experiments behind Figure 8 of the paper: the full Mayflower filesystem
+// against HDFS-style rack-aware selection, with and without Mayflower's
+// network flow scheduler, at several job arrival rates.
+//
+// Unlike mayflower-sim (which drives the flow-level simulator), this
+// harness boots real servers — nameserver, one dataserver per emulated
+// host, the Flowserver polling real switch counters over the OpenFlow-
+// style control protocol — and measures wall-clock read completion times.
+//
+// Usage:
+//
+//	mayflower-bench                    # Figure 8 at the default rates
+//	mayflower-bench -lambdas 2,2.5,3 -jobs 140 -filebytes 1048576
+//	mayflower-bench -multiread         # §4.3 split reads on the prototype
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mayflower-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mayflower-bench", flag.ContinueOnError)
+	var (
+		lambdas   = fs.String("lambdas", "2,2.5,3", "comma-separated per-server arrival rates (scaled timebase)")
+		jobs      = fs.Int("jobs", 140, "jobs per run")
+		warmup    = fs.Int("warmup", 20, "jobs excluded from statistics")
+		files     = fs.Int("files", 40, "catalog size")
+		fileBytes = fs.Int64("filebytes", 1<<20, "bytes per file")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		multiread = fs.Bool("multiread", false, "also run Mayflower with §4.3 multi-replica reads")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rates, err := parseRates(*lambdas)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "=== Figure 8: prototype comparison with HDFS (emulated network) ===")
+	fmt.Fprintf(out, "%-8s %-18s %10s %10s %10s %8s\n", "lambda", "mode", "mean (s)", "p95 (s)", "max (s)", "jobs")
+	modes := []testbed.Mode{testbed.ModeMayflower, testbed.ModeHDFSMayflower, testbed.ModeHDFSECMP}
+	for _, lambda := range rates {
+		for _, mode := range modes {
+			cfg := testbed.DefaultExperiment(mode)
+			cfg.Lambda = lambda
+			cfg.NumJobs = *jobs
+			cfg.WarmupJobs = *warmup
+			cfg.NumFiles = *files
+			cfg.FileBytes = *fileBytes
+			cfg.Seed = *seed
+			res, err := testbed.RunExperiment(cfg)
+			if err != nil {
+				return fmt.Errorf("λ=%g %v: %w", lambda, mode, err)
+			}
+			fmt.Fprintf(out, "%-8.3g %-18s %10.3f %10.3f %10.3f %8d\n",
+				lambda, mode, res.Summary.Mean, res.Summary.P95, res.Summary.Max, res.Summary.N)
+		}
+	}
+
+	if *multiread {
+		fmt.Fprintln(out, "\n=== §4.3 multi-replica reads on the prototype ===")
+		for _, multi := range []bool{false, true} {
+			cfg := testbed.DefaultExperiment(testbed.ModeMayflower)
+			cfg.NumJobs = *jobs
+			cfg.WarmupJobs = *warmup
+			cfg.NumFiles = *files
+			cfg.FileBytes = *fileBytes
+			cfg.Seed = *seed
+			cfg.MultiReplica = multi
+			res, err := testbed.RunExperiment(cfg)
+			if err != nil {
+				return fmt.Errorf("multiread=%v: %w", multi, err)
+			}
+			label := "single-replica"
+			if multi {
+				label = "multi-replica"
+			}
+			fmt.Fprintf(out, "%-16s mean=%.3fs p95=%.3fs\n", label, res.Summary.Mean, res.Summary.P95)
+		}
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("2, 2.5,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 2.5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1,-2", "0"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prototype run is wall-clock bound")
+	}
+	var sb strings.Builder
+	args := []string{
+		"-lambdas", "2",
+		"-jobs", "25",
+		"-warmup", "5",
+		"-files", "8",
+		"-filebytes", "262144",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 8", "Mayflower", "HDFS-Mayflower", "HDFS-ECMP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-lambdas", "zero"}, &sb); err == nil {
+		t.Error("bad lambdas accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command mayflower-flowserver runs Mayflower's Flowserver as a
+// standalone SDN controller application (§3.3.3 of the paper): software
+// switches dial its OpenFlow-style controller port, it polls their byte
+// counters to model per-flow bandwidth, and it serves the replica-path
+// selection RPC that clients (or any other distributed application — the
+// service is not tied to Mayflower, §5) call before starting a transfer.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/sdn"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mayflower-flowserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mayflower-flowserver", flag.ContinueOnError)
+	var (
+		rpcAddr  = fs.String("listen", "127.0.0.1:7100", "replica-path selection RPC listen address")
+		ofAddr   = fs.String("controller-listen", "127.0.0.1:6633", "OpenFlow-style controller listen address")
+		poll     = fs.Duration("poll", time.Second, "switch stats polling interval")
+		multi    = fs.Bool("multiread", false, "enable §4.3 multi-replica read splitting")
+		pods     = fs.Int("pods", 4, "topology: pods")
+		racks    = fs.Int("racks", 4, "topology: racks per pod")
+		hosts    = fs.Int("hosts", 4, "topology: hosts per rack")
+		aggs     = fs.Int("aggs", 2, "topology: aggregation switches per pod")
+		cores    = fs.Int("cores", 2, "topology: core switches")
+		edgeMbps = fs.Float64("edge-mbps", 1000, "edge link capacity (Mbps)")
+		eaMbps   = fs.Float64("edgeagg-mbps", 1000, "edge-aggregation link capacity (Mbps)")
+		acMbps   = fs.Float64("aggcore-mbps", 500, "aggregation-core link capacity (Mbps)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := topology.New(topology.Config{
+		Pods:           *pods,
+		RacksPerPod:    *racks,
+		HostsPerRack:   *hosts,
+		AggsPerPod:     *aggs,
+		Cores:          *cores,
+		EdgeLinkBps:    topology.Mbps(*edgeMbps),
+		EdgeAggLinkBps: topology.Mbps(*eaMbps),
+		AggCoreLinkBps: topology.Mbps(*acMbps),
+	})
+	if err != nil {
+		return err
+	}
+
+	controller := sdn.NewController()
+	ofBound, err := controller.Listen(*ofAddr)
+	if err != nil {
+		return err
+	}
+	defer controller.Close()
+
+	start := time.Now()
+	srv := flowserver.New(topo, flowserver.Options{
+		MultiReplica: *multi,
+		Now:          func() float64 { return time.Since(start).Seconds() },
+	})
+
+	rpc := wire.NewServer()
+	hooks := flowserver.Hooks{
+		OnAssign: func(a flowserver.Assignment) {
+			for _, l := range a.Path {
+				link := topo.Link(l)
+				if topo.Node(link.From).Kind == topology.KindHost {
+					continue
+				}
+				if err := controller.InstallFlow(uint64(link.From), uint64(a.FlowID), uint32(l)); err != nil {
+					log.Printf("install flow %d on switch %d: %v", a.FlowID, link.From, err)
+				}
+			}
+		},
+		OnFinish: func(id flowserver.FlowID) {
+			for _, dpid := range controller.Switches() {
+				_ = controller.RemoveFlow(dpid, uint64(id))
+			}
+		},
+	}
+	if err := flowserver.RegisterRPC(rpc, srv, topo, hooks); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *rpcAddr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- rpc.Serve(ln) }()
+	log.Printf("flowserver: RPC on %s, controller on %s, polling every %v", ln.Addr(), ofBound, *poll)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go pollStats(controller, srv, topo, *poll, start, stop, done)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		close(stop)
+		<-done
+		return err
+	case sig := <-sigc:
+		log.Printf("flowserver shutting down on %v", sig)
+		close(stop)
+		<-done
+		return rpc.Close()
+	}
+}
+
+// pollStats periodically collects per-flow byte counters from the edge
+// switches and feeds them to the Flowserver's bandwidth model.
+func pollStats(controller *sdn.Controller, srv *flowserver.Server, topo *topology.Topology, interval time.Duration, start time.Time, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		byFlow := make(map[flowserver.FlowID]float64)
+		for _, edge := range topo.EdgeSwitches() {
+			stats, err := controller.FlowStats(ctx, uint64(edge))
+			if err != nil {
+				continue
+			}
+			for _, st := range stats {
+				id := flowserver.FlowID(st.FlowID)
+				if bits := float64(st.ByteCount) * 8; bits > byFlow[id] {
+					byFlow[id] = bits
+				}
+			}
+		}
+		cancel()
+		batch := make([]flowserver.FlowStat, 0, len(byFlow))
+		for id, bits := range byFlow {
+			batch = append(batch, flowserver.FlowStat{ID: id, TransferredBits: bits})
+		}
+		srv.UpdateFlowStats(time.Since(start).Seconds(), batch)
+	}
+}

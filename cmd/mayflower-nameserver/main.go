@@ -1,0 +1,189 @@
+// Command mayflower-nameserver runs the Mayflower metadata server: it
+// owns file→chunks and file→dataservers mappings, places replicas under
+// fault-domain constraints, and persists state in an embedded key-value
+// store (fsync off by default, as in the paper, §3.3.1).
+//
+// The paper's fault-tolerance extension is available too: with
+// -replica-id and -peers set, the nameserver replicates every mutation
+// through a Paxos log across the listed peers ("we can improve the
+// fault-tolerance of the nameserver by using a state machine replication
+// algorithm, such as Paxos", §3.3.1):
+//
+//	mayflower-nameserver -listen :7000 -paxos-listen :7500 \
+//	    -replica-id 0 -peers 1=host-b:7500,2=host-c:7500
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/dataserver"
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/paxos"
+	"github.com/mayflower-dfs/mayflower/internal/repair"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mayflower-nameserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mayflower-nameserver", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:7000", "RPC listen address")
+		dbDir       = fs.String("db", "mayflower-ns", "metadata store directory")
+		sync        = fs.Bool("sync", false, "fsync the metadata WAL on every write")
+		replicaID   = fs.Int64("replica-id", -1, "Paxos replica id (enables replication with -peers)")
+		peersSpec   = fs.String("peers", "", "comma-separated id=addr Paxos peers, e.g. 1=host-b:7500,2=host-c:7500")
+		paxosListen = fs.String("paxos-listen", "127.0.0.1:7500", "Paxos RPC listen address (replicated mode)")
+		rebuild     = fs.Bool("rebuild", false, "discard the file table and rebuild it by scanning the registered dataservers (after an unexpected restart, §3.3.1)")
+		repairEvery = fs.Duration("repair-interval", 0, "run re-replication passes at this interval (0 disables); dead = no heartbeat for 5 intervals")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := kvstore.Open(*dbDir, kvstore.Options{SyncWrites: *sync})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	svc, err := nameserver.NewService(store, rand.New(rand.NewSource(time.Now().UnixNano())))
+	if err != nil {
+		return err
+	}
+	if *rebuild {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err := svc.Rebuild(ctx, &dataserver.RPCScanner{})
+		cancel()
+		if err != nil {
+			return fmt.Errorf("rebuild: %w", err)
+		}
+		log.Printf("rebuilt %d files from %d dataservers", svc.NumFiles(), len(svc.Servers()))
+	}
+
+	var meta nameserver.Metadata = svc
+	var paxosSrv *wire.Server
+	if *replicaID >= 0 {
+		peers, err := parsePeers(*peersSpec, *replicaID)
+		if err != nil {
+			return err
+		}
+		rs := nameserver.NewReplicatedService(svc)
+		node, err := paxos.NewNode(paxos.Config{ID: *replicaID, Peers: peers, Apply: rs.Apply})
+		if err != nil {
+			return err
+		}
+		rs.SetNode(node)
+		paxosSrv = wire.NewServer()
+		if err := paxos.RegisterRPC(paxosSrv, node); err != nil {
+			return err
+		}
+		go func() {
+			if err := paxosSrv.ListenAndServe(*paxosListen); err != nil {
+				log.Printf("paxos listener: %v", err)
+			}
+		}()
+		defer paxosSrv.Close()
+		log.Printf("nameserver replica %d: paxos on %s with %d peers", *replicaID, *paxosListen, len(peers))
+		meta = rs
+	}
+
+	srv := wire.NewServer()
+	if err := nameserver.RegisterRPC(srv, meta); err != nil {
+		return err
+	}
+
+	repairStop := make(chan struct{})
+	repairDone := make(chan struct{})
+	if *repairEvery > 0 {
+		go func() {
+			defer close(repairDone)
+			ticker := time.NewTicker(*repairEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-repairStop:
+					return
+				case <-ticker.C:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), *repairEvery)
+				res, err := repair.Run(ctx, repair.Config{
+					Service:   svc,
+					DeadAfter: 5 * *repairEvery,
+				})
+				cancel()
+				if err != nil {
+					log.Printf("repair pass: %v", err)
+					continue
+				}
+				if len(res.Dead) > 0 {
+					log.Printf("repair: %d dead server(s) %v, %d replicas repaired, %d files lost, %d faults",
+						len(res.Dead), res.Dead, res.Repaired, len(res.Lost), len(res.Faults))
+				}
+			}
+		}()
+	} else {
+		close(repairDone)
+	}
+	defer func() {
+		close(repairStop)
+		<-repairDone
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen) }()
+	log.Printf("nameserver listening on %s (db %s, %d files)", *listen, *dbDir, svc.NumFiles())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("nameserver shutting down on %v", sig)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return store.Compact()
+	}
+}
+
+// parsePeers parses "id=addr,id=addr" into Paxos transports, rejecting
+// the local replica id.
+func parsePeers(spec string, self int64) (map[int64]paxos.Transport, error) {
+	peers := make(map[int64]paxos.Transport)
+	if strings.TrimSpace(spec) == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=addr)", part)
+		}
+		id, err := strconv.ParseInt(kv[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q", kv[0])
+		}
+		if id == self {
+			return nil, fmt.Errorf("peer list contains this replica's id %d", id)
+		}
+		peers[id] = paxos.NewRPCTransport(kv[1])
+	}
+	return peers, nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("1=host-b:7500, 2=host-c:7500", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("got %d peers", len(peers))
+	}
+	if _, ok := peers[1]; !ok {
+		t.Error("peer 1 missing")
+	}
+	if _, ok := peers[2]; !ok {
+		t.Error("peer 2 missing")
+	}
+}
+
+func TestParsePeersEmpty(t *testing.T) {
+	peers, err := parsePeers("  ", 0)
+	if err != nil || len(peers) != 0 {
+		t.Fatalf("parsePeers(blank) = %v, %v", peers, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, bad := range []string{"nonsense", "x=addr", "1", "0=self:1"} {
+		if _, err := parsePeers(bad, 0); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}

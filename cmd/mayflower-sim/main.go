@@ -1,0 +1,179 @@
+// Command mayflower-sim runs the Mayflower simulation experiments and
+// prints the tables behind the paper's figures.
+//
+// Usage:
+//
+//	mayflower-sim -fig 4            # Figure 4 (normalized comparison)
+//	mayflower-sim -fig 5            # Figure 5 (client locality sweep)
+//	mayflower-sim -fig 6a           # Figure 6(a) (λ sweep, rack-heavy)
+//	mayflower-sim -fig 6b           # Figure 6(b) (λ sweep, core-heavy)
+//	mayflower-sim -fig 7            # Figure 7 (oversubscription)
+//	mayflower-sim -fig multiread    # §4.3 multi-replica reads
+//	mayflower-sim -fig background   # robustness to unscheduled cross traffic
+//	mayflower-sim -fig ablate-cost  # DESIGN.md ablation: Eq. 2 impact term
+//	mayflower-sim -fig ablate-freeze
+//	mayflower-sim -fig ablate-poll  # stats-poll interval sensitivity
+//	mayflower-sim -fig all          # everything above
+//
+// Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/mayflower-dfs/mayflower/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mayflower-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mayflower-sim", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
+		jobs    = fs.Int("jobs", 1200, "number of read jobs per run")
+		warmup  = fs.Int("warmup", 100, "jobs excluded from statistics")
+		files   = fs.Int("files", 300, "catalog size")
+		lambda  = fs.Float64("lambda", 0.07, "per-server Poisson arrival rate")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		oversub = fs.Float64("oversub", 8, "core-to-rack oversubscription ratio")
+		multi   = fs.Bool("multi", false, "enable §4.3 multi-replica reads for the Mayflower scheme")
+		asCSV   = fs.Bool("csv", false, "emit figures 4/5/6a/6b/7 as CSV instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := experiment.Defaults(experiment.SchemeMayflower)
+	base.NumJobs = *jobs
+	base.WarmupJobs = *warmup
+	base.NumFiles = *files
+	base.Lambda = *lambda
+	base.Seed = *seed
+	base.Oversubscription = *oversub
+	base.MultiReplica = *multi
+
+	if *fig == "all" {
+		for _, name := range []string{"4", "5", "6a", "6b", "7", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {
+			if err := runOne(out, name, base, *asCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	return runOne(out, *fig, base, *asCSV)
+}
+
+func runOne(out io.Writer, name string, base experiment.Config, asCSV bool) error {
+	switch name {
+	case "4":
+		tbl, err := experiment.Figure4(base)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteNormalizedCSV(out, tbl)
+		}
+		fmt.Fprintln(out, "=== Figure 4: replica/path selection comparison ===")
+		return experiment.WriteNormalizedTable(out, tbl)
+	case "5":
+		tables, err := experiment.Figure5(base)
+		if err != nil {
+			return err
+		}
+		if !asCSV {
+			fmt.Fprintln(out, "=== Figure 5: client locality sweep ===")
+		}
+		for _, tbl := range tables {
+			if asCSV {
+				if err := experiment.WriteNormalizedCSV(out, tbl); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := experiment.WriteNormalizedTable(out, tbl); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "6a":
+		sw, err := experiment.Figure6a(base)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteSweepCSV(out, sw, "lambda")
+		}
+		fmt.Fprintln(out, "=== Figure 6(a): job arrival rate sweep, locality (0.5,0.3,0.2) ===")
+		return experiment.WriteSweep(out, sw, "lambda")
+	case "6b":
+		sw, err := experiment.Figure6b(base)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteSweepCSV(out, sw, "lambda")
+		}
+		fmt.Fprintln(out, "=== Figure 6(b): job arrival rate sweep, locality (0.2,0.3,0.5) ===")
+		return experiment.WriteSweep(out, sw, "lambda")
+	case "7":
+		sw, err := experiment.Figure7(base)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteSweepCSV(out, sw, "oversub")
+		}
+		fmt.Fprintln(out, "=== Figure 7: oversubscription impact ===")
+		return experiment.WriteSweep(out, sw, "oversub")
+	case "multiread":
+		fmt.Fprintln(out, "=== §4.3: reading from multiple replicas ===")
+		mr, err := experiment.MultiRead(base)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteMultiRead(out, mr)
+	case "ablate-cost":
+		fmt.Fprintln(out, "=== Ablation: Eq. 2 impact term ===")
+		ab, err := experiment.AblateCostTerm(base)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteAblation(out, ab)
+	case "ablate-freeze":
+		fmt.Fprintln(out, "=== Ablation: update-freeze slack ===")
+		ab, err := experiment.AblateFreeze(base)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteAblation(out, ab)
+	case "background":
+		fmt.Fprintln(out, "=== Robustness: unscheduled background traffic ===")
+		sw, err := experiment.BackgroundSweep(base, nil)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteSweepCSV(out, sw, "bg-load")
+		}
+		return experiment.WriteSweep(out, sw, "bg-load")
+	case "ablate-poll":
+		fmt.Fprintln(out, "=== Ablation: stats-poll interval ===")
+		sw, err := experiment.PollSweep(base, nil)
+		if err != nil {
+			return err
+		}
+		return experiment.WriteSweep(out, sw, "interval")
+	default:
+		return fmt.Errorf("unknown figure %q", name)
+	}
+}

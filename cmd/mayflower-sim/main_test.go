@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallArgs keeps CLI test runs fast.
+func smallArgs(extra ...string) []string {
+	base := []string{"-jobs", "200", "-warmup", "30", "-files", "80"}
+	return append(base, extra...)
+}
+
+func TestRunFigure4(t *testing.T) {
+	var sb strings.Builder
+	if err := run(smallArgs("-fig", "4"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 4", "Mayflower", "Sinbad-R ECMP", "Nearest ECMP", "avg ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunEveryFigure(t *testing.T) {
+	figures := []string{"5", "7", "multiread", "ablate-cost", "ablate-freeze", "ablate-poll"}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(smallArgs("-fig", fig), &sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.Len() == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+func TestRunLambdaSweepFigures(t *testing.T) {
+	// 6a/6b sweep many (λ, scheme) pairs; shrink further.
+	for _, fig := range []string{"6a", "6b"} {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			var sb strings.Builder
+			args := []string{"-jobs", "120", "-warmup", "20", "-files", "60", "-fig", fig}
+			if err := run(args, &sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), "lambda") {
+				t.Error("sweep output missing x-axis label")
+			}
+		})
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "99"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nonsense"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMultiReplicaFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(smallArgs("-fig", "4", "-multi"), &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(smallArgs("-fig", "4", "-csv"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "locality,lambda,scheme,") {
+		t.Errorf("CSV header missing: %q", out[:60])
+	}
+	if strings.Contains(out, "===") {
+		t.Error("CSV output contains table banner")
+	}
+	lines := strings.Count(strings.TrimSpace(out), "\n")
+	if lines != 5 { // header + 5 schemes - 1
+		t.Errorf("CSV line count = %d, want 5", lines)
+	}
+
+	sb.Reset()
+	if err := run(smallArgs("-fig", "7", "-csv"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "oversub,scheme,") {
+		t.Error("sweep CSV header missing")
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+)
+
+// startBackend boots an in-process deployment and returns CLI base flags.
+func startBackend(t *testing.T) []string {
+	t.Helper()
+	cluster, err := testbed.NewCluster(testbed.ClusterConfig{Mode: testbed.ModeMayflower, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	clientHost := cluster.Topo.Node(cluster.Topo.HostAt(0, 0, 0)).Name
+	return []string{
+		"-ns", cluster.NameserverAddr(),
+		"-fs", cluster.FlowserverAddr(),
+		"-host", clientHost,
+	}
+}
+
+func cli(t *testing.T, base []string, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(append(append([]string{}, base...), args...), &sb); err != nil {
+		t.Fatalf("mayflower %v: %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestCLIRoundTrip(t *testing.T) {
+	base := startBackend(t)
+	dir := t.TempDir()
+
+	src := filepath.Join(dir, "in.txt")
+	payload := strings.Repeat("mayflower cli\n", 500)
+	if err := os.WriteFile(src, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := cli(t, base, "put", "docs/cli.txt", src)
+	if !strings.Contains(out, "put docs/cli.txt") {
+		t.Errorf("put output %q", out)
+	}
+
+	out = cli(t, base, "ls", "docs/")
+	if !strings.Contains(out, "docs/cli.txt") {
+		t.Errorf("ls output %q", out)
+	}
+
+	out = cli(t, base, "stat", "docs/cli.txt")
+	if !strings.Contains(out, "primary:") || !strings.Contains(out, "chunks:") {
+		t.Errorf("stat output %q", out)
+	}
+
+	dst := filepath.Join(dir, "out.txt")
+	cli(t, base, "get", "docs/cli.txt", dst)
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Error("get returned wrong bytes")
+	}
+
+	// get to stdout
+	out = cli(t, base, "get", "docs/cli.txt")
+	if out != payload {
+		t.Error("get (stdout) returned wrong bytes")
+	}
+
+	more := filepath.Join(dir, "more.txt")
+	if err := os.WriteFile(more, []byte("EXTRA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = cli(t, base, "append", "docs/cli.txt", more)
+	if !strings.Contains(out, "appended 5 bytes") {
+		t.Errorf("append output %q", out)
+	}
+	out = cli(t, base, "get", "docs/cli.txt")
+	if out != payload+"EXTRA" {
+		t.Error("append not visible in get")
+	}
+
+	out = cli(t, base, "rm", "docs/cli.txt")
+	if !strings.Contains(out, "deleted") {
+		t.Errorf("rm output %q", out)
+	}
+	if err := run(append(append([]string{}, base...), "get", "docs/cli.txt"), &strings.Builder{}); err == nil {
+		t.Error("get of deleted file succeeded")
+	}
+}
+
+func TestCLIStrongMode(t *testing.T) {
+	base := append(startBackend(t), "-strong")
+	dir := t.TempDir()
+	src := filepath.Join(dir, "s.txt")
+	if err := os.WriteFile(src, []byte("strong-read"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cli(t, base, "put", "s", src)
+	if out := cli(t, base, "get", "s"); out != "strong-read" {
+		t.Errorf("strong get = %q", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	base := startBackend(t)
+	var sb strings.Builder
+
+	if err := run(base, &sb); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run(append(append([]string{}, base...), "frobnicate"), &sb); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(append(append([]string{}, base...), "put", "only-name"), &sb); err == nil {
+		t.Error("put without file accepted")
+	}
+	if err := run(append(append([]string{}, base...), "get"), &sb); err == nil {
+		t.Error("get without name accepted")
+	}
+	if err := run(append(append([]string{}, base...), "stat"), &sb); err == nil {
+		t.Error("stat without name accepted")
+	}
+	if err := run(append(append([]string{}, base...), "rm"), &sb); err == nil {
+		t.Error("rm without name accepted")
+	}
+	if err := run(append(append([]string{}, base...), "append", "x"), &sb); err == nil {
+		t.Error("append without file accepted")
+	}
+	if err := run([]string{"-ns", "127.0.0.1:1", "ls"}, &sb); err == nil {
+		t.Error("dead nameserver accepted")
+	}
+}
+
+func TestCLIScrub(t *testing.T) {
+	base := startBackend(t)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "s.txt")
+	if err := os.WriteFile(src, []byte("scrub me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cli(t, base, "put", "scrub/file", src)
+	out := cli(t, base, "scrub")
+	if !strings.Contains(out, "scrub clean") {
+		t.Errorf("scrub output %q", out)
+	}
+}

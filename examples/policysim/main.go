@@ -1,0 +1,44 @@
+// Policysim: compare the five replica/path selection schemes of the
+// paper's §6.2 on the simulated 64-host testbed — a scaled-down version
+// of Figure 4 that runs in under a second.
+//
+//	go run ./examples/policysim
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/mayflower-dfs/mayflower/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := experiment.Defaults(experiment.SchemeMayflower)
+	base.NumJobs = 600
+	base.WarmupJobs = 80
+
+	fmt.Println("Simulating 600 read jobs (256 MB each) on the paper's 64-host testbed,")
+	fmt.Printf("Poisson λ=%.2f per server, Zipf popularity, locality %v.\n\n",
+		base.Lambda, base.Locality)
+
+	tbl, err := experiment.Figure4(base)
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteNormalizedTable(os.Stdout, tbl); err != nil {
+		return err
+	}
+
+	fmt.Println("\nPaper's Figure 4 for comparison (their testbed):")
+	fmt.Println("  Mayflower 1x, Sinbad-R Mayflower 1.42x, Sinbad-R ECMP 1.69x,")
+	fmt.Println("  Nearest Mayflower 3.24x, Nearest ECMP 3.42x;")
+	fmt.Println("  p95: 1x / 1.54x / 2.08x / 12.4x / 12.4x.")
+	return nil
+}

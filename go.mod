@@ -1,0 +1,3 @@
+module github.com/mayflower-dfs/mayflower
+
+go 1.22

@@ -1,0 +1,559 @@
+// Package client is the Mayflower client library (§3.3, §5 of the
+// paper). It talks to the nameserver for metadata, consults the
+// Flowserver during reads so replica and network path are chosen jointly
+// with the SDN control plane, and moves bulk data directly against
+// dataservers. Its interface is deliberately HDFS-like: create, append,
+// read, delete, list and stat.
+//
+// The client caches file metadata to reduce nameserver load. Mayflower's
+// append-only semantics make the cache safe: a file's identity, chunk
+// size and replica set never change while it exists, and its size only
+// grows — the dataserver reports the current size with every read, so a
+// reader discovers newly appended data without asking the nameserver.
+//
+// Two consistency modes are offered (§3.4): Sequential (default) lets any
+// replica serve any chunk; Strong additionally routes reads that touch
+// the last (still mutable) chunk to the primary, which orders appends —
+// every other chunk is immutable and safe from any replica.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/dataserver"
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// Consistency selects the read consistency mode (§3.4).
+type Consistency int
+
+// Consistency modes.
+const (
+	// Sequential consistency: reads may go to any replica.
+	Sequential Consistency = iota + 1
+	// Strong consistency: reads touching the last chunk go to the
+	// primary; immutable chunks may still come from any replica.
+	Strong
+)
+
+// Options configure a client.
+type Options struct {
+	// NameserverAddr is the nameserver's RPC address (required).
+	NameserverAddr string
+	// FlowserverAddr is the Flowserver's RPC address; when empty the
+	// client picks replicas uniformly at random (the degraded mode the
+	// paper compares against).
+	FlowserverAddr string
+	// Host is the topology host name this client runs on, passed to the
+	// Flowserver for path selection.
+	Host string
+	// Consistency is the read mode; Sequential if zero.
+	Consistency Consistency
+	// CacheTTL bounds how long file→dataserver mappings are reused
+	// before re-validating with the nameserver (30 s if zero; the paper
+	// sizes this against replica migration and failure rates).
+	CacheTTL time.Duration
+	// DialData opens bulk data connections; net.Dial if nil (the
+	// emulated network injects its paced dialer here).
+	DialData func(ctx context.Context, addr string) (net.Conn, error)
+	// Rand drives replica selection fallback; seeded from the clock if
+	// nil.
+	Rand *rand.Rand
+	// PickReplica, when set, chooses the replica for a read instead of
+	// leaving the choice to the Flowserver (package hdfsbaseline supplies
+	// HDFS's rack-aware policy). With a Flowserver configured the client
+	// still asks it to schedule the network path for the pre-picked
+	// replica — the paper's "HDFS-Mayflower" configuration (§6.7);
+	// without one, reads go straight to the picked replica.
+	PickReplica func(info nameserver.FileInfo) nameserver.ReplicaLoc
+	// AssignFlow, when set and no Flowserver is configured, runs before
+	// each bulk read so a harness can register the transfer with a
+	// network emulator or traffic-engineering system (e.g. to give ECMP
+	// flows a paced path). It returns the flow id to tag the read with
+	// and a cleanup callback invoked when the read finishes.
+	AssignFlow func(replicaHost string, bytes int64) (flowID uint64, done func())
+}
+
+type cacheEntry struct {
+	info nameserver.FileInfo
+	at   time.Time
+}
+
+// Client is a Mayflower filesystem client. It is safe for concurrent use.
+type Client struct {
+	opts Options
+	ns   *nameserver.Client
+	fs   *flowserver.RPCClient
+
+	mu    sync.Mutex
+	cache map[string]cacheEntry
+	ctl   map[string]*wire.Client // dataserver control connections
+	rng   *rand.Rand
+}
+
+// New connects a client.
+func New(opts Options) (*Client, error) {
+	if opts.NameserverAddr == "" {
+		return nil, errors.New("client: NameserverAddr is required")
+	}
+	if opts.Consistency == 0 {
+		opts.Consistency = Sequential
+	}
+	if opts.CacheTTL == 0 {
+		opts.CacheTTL = 30 * time.Second
+	}
+	if opts.DialData == nil {
+		opts.DialData = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+
+	ns, err := nameserver.Dial(opts.NameserverAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		opts:  opts,
+		ns:    ns,
+		cache: make(map[string]cacheEntry),
+		ctl:   make(map[string]*wire.Client),
+		rng:   rng,
+	}
+	if opts.FlowserverAddr != "" {
+		fs, err := flowserver.DialRPC(opts.FlowserverAddr)
+		if err != nil {
+			ns.Close()
+			return nil, err
+		}
+		c.fs = fs
+	}
+	return c, nil
+}
+
+// Close tears down every connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	ctl := make([]*wire.Client, 0, len(c.ctl))
+	for _, cc := range c.ctl {
+		ctl = append(ctl, cc)
+	}
+	c.ctl = make(map[string]*wire.Client)
+	c.mu.Unlock()
+
+	err := c.ns.Close()
+	if c.fs != nil {
+		if ferr := c.fs.Close(); err == nil {
+			err = ferr
+		}
+	}
+	for _, cc := range ctl {
+		cc.Close()
+	}
+	return err
+}
+
+// control returns (dialing if needed) a control client for a dataserver.
+func (c *Client) control(addr string) (*wire.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.ctl[addr]; ok {
+		return cc, nil
+	}
+	cc, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ctl[addr] = cc
+	return cc, nil
+}
+
+func (c *Client) dropControl(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.ctl[addr]; ok {
+		delete(c.ctl, addr)
+		cc.Close()
+	}
+}
+
+// fileInfo returns (possibly cached) metadata for a file.
+func (c *Client) fileInfo(ctx context.Context, name string) (nameserver.FileInfo, error) {
+	c.mu.Lock()
+	if e, ok := c.cache[name]; ok && time.Since(e.at) < c.opts.CacheTTL {
+		info := e.info
+		c.mu.Unlock()
+		return info, nil
+	}
+	c.mu.Unlock()
+
+	info, err := c.ns.Lookup(ctx, name)
+	if err != nil {
+		return nameserver.FileInfo{}, err
+	}
+	c.storeCache(name, info)
+	return info, nil
+}
+
+func (c *Client) storeCache(name string, info nameserver.FileInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache[name] = cacheEntry{info: info, at: time.Now()}
+}
+
+func (c *Client) invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, name)
+}
+
+// observeSize folds a size learned from a dataserver read into the cache
+// (sizes only grow under append-only semantics).
+func (c *Client) observeSize(name string, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.cache[name]; ok && size > e.info.SizeBytes {
+		e.info.SizeBytes = size
+		c.cache[name] = e
+	}
+}
+
+// Create creates a file: the nameserver allocates replicas, then the
+// primary dataserver prepares local state and relays to the other
+// replicas.
+func (c *Client) Create(ctx context.Context, name string, opts nameserver.CreateOptions) (nameserver.FileInfo, error) {
+	info, err := c.ns.Create(ctx, name, opts)
+	if err != nil {
+		return nameserver.FileInfo{}, err
+	}
+	cc, err := c.control(info.Primary().ControlAddr)
+	if err != nil {
+		return nameserver.FileInfo{}, fmt.Errorf("client: prepare %s: %w", name, err)
+	}
+	var out struct{}
+	if err := cc.Call(ctx, dataserver.MethodPrepare,
+		dataserver.PrepareArgs{Info: info, Relay: true}, &out); err != nil {
+		return nameserver.FileInfo{}, fmt.Errorf("client: prepare %s: %w", name, err)
+	}
+	c.storeCache(name, info)
+	return info, nil
+}
+
+// Append appends data to a file through its primary replica and returns
+// the file's new size. Large appends are split into MaxAppend pieces.
+func (c *Client) Append(ctx context.Context, name string, data []byte) (int64, error) {
+	info, err := c.fileInfo(ctx, name)
+	if err != nil {
+		return 0, err
+	}
+	cc, err := c.control(info.Primary().ControlAddr)
+	if err != nil {
+		return 0, err
+	}
+	var size int64
+	for len(data) > 0 {
+		n := len(data)
+		if n > dataserver.MaxAppend {
+			n = dataserver.MaxAppend
+		}
+		var reply dataserver.AppendReply
+		err := cc.Call(ctx, dataserver.MethodAppend, dataserver.AppendArgs{
+			FileID: info.ID,
+			Name:   name,
+			Data:   data[:n],
+		}, &reply)
+		if err != nil {
+			c.dropControl(info.Primary().ControlAddr)
+			return size, fmt.Errorf("client: append %s: %w", name, err)
+		}
+		size = reply.SizeBytes
+		data = data[n:]
+	}
+	c.observeSize(name, size)
+	return size, nil
+}
+
+// Stat returns fresh metadata: the nameserver record with the size
+// corrected by the primary dataserver's authoritative local size.
+func (c *Client) Stat(ctx context.Context, name string) (nameserver.FileInfo, error) {
+	info, err := c.fileInfo(ctx, name)
+	if err != nil {
+		return nameserver.FileInfo{}, err
+	}
+	cc, err := c.control(info.Primary().ControlAddr)
+	if err != nil {
+		return nameserver.FileInfo{}, err
+	}
+	var st dataserver.StatReply
+	if err := cc.Call(ctx, dataserver.MethodStat, dataserver.FileIDArgs{FileID: info.ID}, &st); err != nil {
+		c.dropControl(info.Primary().ControlAddr)
+		return nameserver.FileInfo{}, fmt.Errorf("client: stat %s: %w", name, err)
+	}
+	if st.SizeBytes > info.SizeBytes {
+		info.SizeBytes = st.SizeBytes
+		c.observeSize(name, st.SizeBytes)
+	}
+	return info, nil
+}
+
+// List returns metadata for files whose names have the given prefix.
+func (c *Client) List(ctx context.Context, prefix string) ([]nameserver.FileInfo, error) {
+	return c.ns.List(ctx, prefix)
+}
+
+// Delete removes a file: metadata first (so new readers stop finding it),
+// then the replicas' chunk data. Replica cleanup failures are collected
+// but do not resurrect the file.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	info, err := c.ns.Delete(ctx, name)
+	if err != nil {
+		return err
+	}
+	c.invalidate(name)
+	var firstErr error
+	for _, rep := range info.Replicas {
+		cc, err := c.control(rep.ControlAddr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		var out struct{}
+		if err := cc.Call(ctx, dataserver.MethodDelete,
+			dataserver.FileIDArgs{FileID: info.ID}, &out); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("client: delete %s replicas: %w", name, firstErr)
+	}
+	return nil
+}
+
+// ReadAll reads the whole file at its current authoritative size.
+func (c *Client) ReadAll(ctx context.Context, name string) ([]byte, error) {
+	info, err := c.Stat(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	if info.SizeBytes == 0 {
+		return nil, nil
+	}
+	return c.ReadAt(ctx, name, 0, info.SizeBytes)
+}
+
+// ReadAt reads length bytes starting at offset.
+func (c *Client) ReadAt(ctx context.Context, name string, offset, length int64) ([]byte, error) {
+	if offset < 0 || length < 0 {
+		return nil, fmt.Errorf("client: invalid range [%d, %d)", offset, offset+length)
+	}
+	info, err := c.fileInfo(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	if length == 0 {
+		return nil, nil
+	}
+	if offset+length > info.SizeBytes {
+		// The cached size may be stale under appends; revalidate.
+		info, err = c.Stat(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		if offset+length > info.SizeBytes {
+			return nil, fmt.Errorf("client: read [%d, %d) beyond size %d", offset, offset+length, info.SizeBytes)
+		}
+	}
+
+	buf := make([]byte, length)
+	if c.opts.Consistency == Strong {
+		// Immutable chunks can come from anywhere; the tail chunk must
+		// come from the primary, which orders appends (§3.4).
+		lastChunkStart := (info.SizeBytes - 1) / info.ChunkSize * info.ChunkSize
+		if offset+length > lastChunkStart {
+			split := lastChunkStart - offset
+			if split < 0 {
+				split = 0
+			}
+			var wg sync.WaitGroup
+			var errBody, errTail error
+			if split > 0 {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					errBody = c.readSegment(ctx, name, info, offset, buf[:split], false)
+				}()
+			}
+			errTail = c.readSegment(ctx, name, info, offset+split, buf[split:], true)
+			wg.Wait()
+			if errBody != nil {
+				return nil, errBody
+			}
+			if errTail != nil {
+				return nil, errTail
+			}
+			return buf, nil
+		}
+	}
+	if err := c.readSegment(ctx, name, info, offset, buf, false); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readSegment fills buf from the file starting at offset. primaryOnly
+// pins the read to the primary replica; otherwise the Flowserver (when
+// configured) chooses the replica(s) and may split the read in two
+// (§4.3).
+func (c *Client) readSegment(ctx context.Context, name string, info nameserver.FileInfo, offset int64, buf []byte, primaryOnly bool) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if primaryOnly || c.fs == nil {
+		rep := info.Primary()
+		if !primaryOnly {
+			if c.opts.PickReplica != nil {
+				rep = c.opts.PickReplica(info)
+			} else {
+				rep = info.Replicas[c.pick(len(info.Replicas))]
+			}
+		}
+		var flowID uint64
+		if c.opts.AssignFlow != nil {
+			id, done := c.opts.AssignFlow(rep.Host, int64(len(buf)))
+			flowID = id
+			if done != nil {
+				defer done()
+			}
+		}
+		return c.readFrom(ctx, name, info, rep, flowID, offset, buf)
+	}
+
+	candidates := info.Replicas
+	if c.opts.PickReplica != nil {
+		// Replica pre-picked (HDFS-Mayflower mode): the Flowserver only
+		// schedules the path.
+		candidates = []nameserver.ReplicaLoc{c.opts.PickReplica(info)}
+	}
+	hosts := make([]string, len(candidates))
+	byHost := make(map[string]nameserver.ReplicaLoc, len(candidates))
+	for i, r := range candidates {
+		hosts[i] = r.Host
+		byHost[r.Host] = r
+	}
+	assignments, err := c.fs.Select(ctx, flowserver.SelectArgs{
+		ClientHost:   c.opts.Host,
+		ReplicaHosts: hosts,
+		Bits:         float64(len(buf)) * 8,
+	})
+	if err != nil || len(assignments) == 0 {
+		// The Flowserver is an optimizer, not a dependency: fall back to
+		// a random replica.
+		rep := info.Replicas[c.pick(len(info.Replicas))]
+		return c.readFrom(ctx, name, info, rep, 0, offset, buf)
+	}
+
+	// Convert the bit split into byte ranges, last assignment taking the
+	// remainder.
+	totalBits := 0.0
+	for _, a := range assignments {
+		totalBits += a.Bits
+	}
+	var (
+		wg       sync.WaitGroup
+		errs     = make([]error, len(assignments))
+		segStart = int64(0)
+	)
+	for i, a := range assignments {
+		rep, ok := byHost[a.ReplicaHost]
+		if !ok {
+			return fmt.Errorf("client: flowserver chose unknown replica host %q", a.ReplicaHost)
+		}
+		segLen := int64(len(buf)) - segStart
+		if i < len(assignments)-1 && totalBits > 0 {
+			segLen = int64(float64(len(buf)) * a.Bits / totalBits)
+			if rem := int64(len(buf)) - segStart; segLen > rem {
+				segLen = rem
+			}
+		}
+		i, rep, off, sub := i, rep, offset+segStart, buf[segStart:segStart+segLen]
+		flowID := uint64(a.FlowID)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = c.readFrom(ctx, name, info, rep, flowID, off, sub)
+			if c.fs != nil {
+				_ = c.fs.Finished(ctx, flowserver.FlowID(flowID))
+			}
+		}()
+		segStart += segLen
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (c *Client) pick(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// readFrom performs one bulk read against a replica and retries once
+// against the primary if the replica fails (crash or lagging append).
+func (c *Client) readFrom(ctx context.Context, name string, info nameserver.FileInfo, rep nameserver.ReplicaLoc, flowID uint64, offset int64, buf []byte) error {
+	err := c.readOnce(ctx, name, info, rep, flowID, offset, buf)
+	if err == nil {
+		return nil
+	}
+	if rep.ServerID == info.Primary().ServerID {
+		return err
+	}
+	// Failover: the primary has every acknowledged byte.
+	if ferr := c.readOnce(ctx, name, info, info.Primary(), flowID, offset, buf); ferr == nil {
+		return nil
+	}
+	return err
+}
+
+func (c *Client) readOnce(ctx context.Context, name string, info nameserver.FileInfo, rep nameserver.ReplicaLoc, flowID uint64, offset int64, buf []byte) error {
+	conn, err := c.opts.DialData(ctx, rep.DataAddr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", rep.ServerID, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	req := dataserver.EncodeReadRequest(dataserver.ReadRequest{
+		FlowID: flowID,
+		FileID: info.ID,
+		Offset: offset,
+		Length: int64(len(buf)),
+	})
+	if _, err := conn.Write(req); err != nil {
+		return fmt.Errorf("client: send read to %s: %w", rep.ServerID, err)
+	}
+	size, err := dataserver.ReadResponseHeader(conn)
+	if err != nil {
+		return fmt.Errorf("client: read %s from %s: %w", name, rep.ServerID, err)
+	}
+	c.observeSize(name, size)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return fmt.Errorf("client: read %s body from %s: %w", name, rep.ServerID, err)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package dataserver
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+)
+
+func newNSStore(t *testing.T) *kvstore.Store {
+	t.Helper()
+	store, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,128 @@
+package dataserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+)
+
+// Re-replication control methods (the paper's §3.2 design goal of
+// GFS/HDFS-grade fault tolerance).
+const (
+	// MethodReplicate instructs a dataserver to become a replica of a
+	// file by copying it from a live peer.
+	MethodReplicate = "ds.Replicate"
+	// MethodUpdateMeta rewrites a stored file's metadata (the repaired
+	// replica set, including a possibly promoted primary).
+	MethodUpdateMeta = "ds.UpdateMeta"
+)
+
+// UpdateMetaArgs carries the new metadata for a stored file.
+type UpdateMetaArgs struct {
+	Info nameserver.FileInfo `json:"info"`
+}
+
+// ReplicateArgs ask the receiving server to fetch a file from a peer.
+type ReplicateArgs struct {
+	// Info is the file's metadata (with the post-repair replica set).
+	Info nameserver.FileInfo `json:"info"`
+	// SourceDataAddr is the bulk data endpoint of a live replica.
+	SourceDataAddr string `json:"sourceDataAddr"`
+	// SizeBytes is how much of the file to copy.
+	SizeBytes int64 `json:"sizeBytes"`
+}
+
+// ReplicateReply reports the receiving server's local size afterwards.
+type ReplicateReply struct {
+	SizeBytes int64 `json:"sizeBytes"`
+}
+
+func (s *Server) registerReplicateHandler() error {
+	err := s.ctl.Register(MethodReplicate, func(ctx context.Context, params json.RawMessage) (any, error) {
+		var a ReplicateArgs
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+		size, err := s.replicateFrom(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		return ReplicateReply{SizeBytes: size}, nil
+	})
+	if err != nil {
+		return err
+	}
+	return s.ctl.Register(MethodUpdateMeta, func(_ context.Context, params json.RawMessage) (any, error) {
+		var a UpdateMetaArgs
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+		return struct{}{}, s.store.updateInfo(a.Info)
+	})
+}
+
+// replicateFrom copies a file from a peer in MaxAppend slices, resuming
+// from whatever prefix is already local (re-replication after a partial
+// earlier attempt is incremental).
+func (s *Server) replicateFrom(ctx context.Context, a ReplicateArgs) (int64, error) {
+	if a.SizeBytes < 0 {
+		return 0, fmt.Errorf("dataserver: negative replicate size %d", a.SizeBytes)
+	}
+	if err := s.store.prepare(a.Info); err != nil {
+		return 0, err
+	}
+	fs, err := s.store.get(a.Info.ID)
+	if err != nil {
+		return 0, err
+	}
+	offset := fs.localSize()
+	buf := make([]byte, MaxAppend)
+	for offset < a.SizeBytes {
+		n := a.SizeBytes - offset
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if err := s.fetchRange(ctx, a.SourceDataAddr, a.Info, offset, buf[:n]); err != nil {
+			return offset, fmt.Errorf("dataserver: replicate %s from %s: %w", a.Info.ID, a.SourceDataAddr, err)
+		}
+		offset, err = s.store.appendAt(a.Info.ID, offset, buf[:n])
+		if err != nil {
+			return offset, err
+		}
+	}
+	return offset, nil
+}
+
+// fetchRange reads one byte range from a peer over the bulk data
+// protocol.
+func (s *Server) fetchRange(ctx context.Context, addr string, info nameserver.FileInfo, offset int64, buf []byte) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Minute))
+	}
+	req := EncodeReadRequest(ReadRequest{
+		FileID: info.ID,
+		Offset: offset,
+		Length: int64(len(buf)),
+	})
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+	if _, err := ReadResponseHeader(conn); err != nil {
+		return err
+	}
+	_, err = io.ReadFull(conn, buf)
+	return err
+}

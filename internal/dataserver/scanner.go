@@ -1,0 +1,38 @@
+package dataserver
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// RPCScanner implements nameserver.Scanner over the dataserver control
+// protocol: it is what lets a nameserver that restarted unexpectedly
+// rebuild its mappings "by scanning the file metadata stored at the
+// dataservers" instead of trusting its possibly stale database (§3.3.1).
+type RPCScanner struct {
+	// Dial opens control connections; wire.Dial when nil.
+	Dial func(addr string) (*wire.Client, error)
+}
+
+var _ nameserver.Scanner = (*RPCScanner)(nil)
+
+// ScanFiles lists the files stored on one dataserver.
+func (s *RPCScanner) ScanFiles(ctx context.Context, si nameserver.ServerInfo) ([]nameserver.FileRecord, error) {
+	dial := s.Dial
+	if dial == nil {
+		dial = wire.Dial
+	}
+	c, err := dial(si.ControlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dataserver: scan %s: %w", si.ID, err)
+	}
+	defer c.Close()
+	var recs []nameserver.FileRecord
+	if err := c.Call(ctx, MethodListFiles, struct{}{}, &recs); err != nil {
+		return nil, fmt.Errorf("dataserver: scan %s: %w", si.ID, err)
+	}
+	return recs, nil
+}

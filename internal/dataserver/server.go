@@ -1,0 +1,610 @@
+package dataserver
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/uuid"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// Control RPC method names served by a dataserver.
+const (
+	MethodPrepare   = "ds.Prepare"
+	MethodAppend    = "ds.Append"
+	MethodAppendAt  = "ds.AppendAt"
+	MethodDelete    = "ds.Delete"
+	MethodStat      = "ds.Stat"
+	MethodListFiles = "ds.ListFiles"
+	MethodScrub     = "ds.Scrub"
+)
+
+// MaxAppend bounds a single append RPC; the client library splits larger
+// writes.
+const MaxAppend = 8 << 20
+
+// Pacer shapes the dataserver's bulk read streams. The emulated
+// datacenter network implements it to enforce link sharing; NopPacer runs
+// at full speed.
+type Pacer interface {
+	// Writer wraps w so that writes count against (and are paced as)
+	// the given flow.
+	Writer(flowID uint64, w io.Writer) io.Writer
+}
+
+// NopPacer performs no pacing.
+type NopPacer struct{}
+
+// Writer returns w unchanged.
+func (NopPacer) Writer(_ uint64, w io.Writer) io.Writer { return w }
+
+var _ Pacer = NopPacer{}
+
+// Config describes a dataserver instance.
+type Config struct {
+	// ID is the server's stable identity.
+	ID string
+	// Root is the chunk store directory.
+	Root string
+	// Host is the topology host name this server runs on.
+	Host string
+	// Pod and Rack are the server's fault-domain coordinates.
+	Pod, Rack int
+	// Pacer shapes bulk reads; nil means NopPacer.
+	Pacer Pacer
+	// HeartbeatInterval is how often the server reports liveness to the
+	// nameserver (1 s if zero; 0 heartbeats are never sent when no
+	// nameserver is configured).
+	HeartbeatInterval time.Duration
+	// Logger receives non-fatal warnings; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is a running dataserver: a control RPC endpoint, a bulk data
+// endpoint, and the chunk store.
+type Server struct {
+	cfg   Config
+	store *storage
+	ctl   *wire.Server
+
+	mu       sync.Mutex
+	dataLn   net.Listener
+	ctlAddr  string
+	dataAddr string
+	ns       *nameserver.Client
+	peers    map[string]*wire.Client
+	closed   bool
+	wg       sync.WaitGroup
+	beatStop chan struct{}
+}
+
+// New creates a dataserver over the given storage root.
+func New(cfg Config) (*Server, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("dataserver: config needs an ID")
+	}
+	if cfg.Pacer == nil {
+		cfg.Pacer = NopPacer{}
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	st, err := openStorage(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    st,
+		ctl:      wire.NewServer(),
+		peers:    make(map[string]*wire.Client),
+		beatStop: make(chan struct{}),
+	}
+	if err := s.registerHandlers(); err != nil {
+		return nil, err
+	}
+	if err := s.registerReplicateHandler(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Start begins serving the control and data endpoints on the given
+// listeners and registers with the nameserver at nsAddr (skipped when
+// empty, for tests that drive the server directly).
+func (s *Server) Start(ctlLn, dataLn net.Listener, nsAddr string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dataserver: closed")
+	}
+	s.dataLn = dataLn
+	s.ctlAddr = ctlLn.Addr().String()
+	s.dataAddr = dataLn.Addr().String()
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		_ = s.ctl.Serve(ctlLn)
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.serveData(dataLn)
+	}()
+
+	if nsAddr == "" {
+		return nil
+	}
+	ns, err := nameserver.Dial(nsAddr)
+	if err != nil {
+		return fmt.Errorf("dataserver: nameserver dial: %w", err)
+	}
+	s.mu.Lock()
+	s.ns = ns
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ns.Register(ctx, nameserver.ServerInfo{
+		ID:          s.cfg.ID,
+		ControlAddr: s.ctlAddr,
+		DataAddr:    s.dataAddr,
+		Host:        s.cfg.Host,
+		Pod:         s.cfg.Pod,
+		Rack:        s.cfg.Rack,
+	}); err != nil {
+		return err
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.heartbeatLoop(ns)
+	}()
+	return nil
+}
+
+// heartbeatLoop reports liveness until the server closes. Send failures
+// are logged and retried on the next tick; the nameserver treats a long
+// silence as death.
+func (s *Server) heartbeatLoop(ns *nameserver.Client) {
+	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.beatStop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
+		err := ns.Heartbeat(ctx, s.cfg.ID)
+		cancel()
+		if err != nil {
+			s.logf("dataserver %s: heartbeat: %v", s.cfg.ID, err)
+		}
+	}
+}
+
+// ControlAddr returns the control endpoint address (after Start).
+func (s *Server) ControlAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctlAddr
+}
+
+// DataAddr returns the bulk data endpoint address (after Start).
+func (s *Server) DataAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dataAddr
+}
+
+// Close stops serving and disconnects from peers and the nameserver.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	dataLn := s.dataLn
+	ns := s.ns
+	peers := make([]*wire.Client, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+
+	close(s.beatStop)
+	err := s.ctl.Close()
+	if dataLn != nil {
+		dataLn.Close()
+	}
+	if ns != nil {
+		ns.Close()
+	}
+	for _, p := range peers {
+		p.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// peer returns (dialing if needed) a control client for a replica peer.
+func (s *Server) peer(addr string) (*wire.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("dataserver: closed")
+	}
+	if c, ok := s.peers[addr]; ok {
+		return c, nil
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.peers[addr] = c
+	return c, nil
+}
+
+func (s *Server) dropPeer(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.peers[addr]; ok {
+		delete(s.peers, addr)
+		c.Close()
+	}
+}
+
+// --- control plane -------------------------------------------------------
+
+// PrepareArgs creates a file's local state.
+type PrepareArgs struct {
+	Info nameserver.FileInfo `json:"info"`
+	// Relay makes the (primary) receiver propagate the prepare to the
+	// other replicas.
+	Relay bool `json:"relay,omitempty"`
+}
+
+// AppendArgs appends data to a file through its primary.
+type AppendArgs struct {
+	FileID uuid.UUID `json:"fileId"`
+	Name   string    `json:"name"`
+	Data   []byte    `json:"data"`
+}
+
+// AppendAtArgs applies a relayed append at a fixed offset.
+type AppendAtArgs struct {
+	FileID uuid.UUID `json:"fileId"`
+	Offset int64     `json:"offset"`
+	Data   []byte    `json:"data"`
+}
+
+// AppendReply reports the file size after an append.
+type AppendReply struct {
+	SizeBytes int64 `json:"sizeBytes"`
+}
+
+// FileIDArgs addresses a file by id.
+type FileIDArgs struct {
+	FileID uuid.UUID `json:"fileId"`
+}
+
+// StatReply reports a file's local size.
+type StatReply struct {
+	SizeBytes int64 `json:"sizeBytes"`
+}
+
+func (s *Server) registerHandlers() error {
+	handlers := map[string]wire.Handler{
+		MethodPrepare: func(ctx context.Context, params json.RawMessage) (any, error) {
+			var a PrepareArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return struct{}{}, s.handlePrepare(ctx, a)
+		},
+		MethodAppend: func(ctx context.Context, params json.RawMessage) (any, error) {
+			var a AppendArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return s.handleAppend(ctx, a)
+		},
+		MethodAppendAt: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a AppendAtArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			size, err := s.store.appendAt(a.FileID, a.Offset, a.Data)
+			if err != nil {
+				return nil, err
+			}
+			return AppendReply{SizeBytes: size}, nil
+		},
+		MethodDelete: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a FileIDArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return struct{}{}, s.store.delete(a.FileID)
+		},
+		MethodStat: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a FileIDArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			fs, err := s.store.get(a.FileID)
+			if err != nil {
+				return nil, err
+			}
+			return StatReply{SizeBytes: fs.localSize()}, nil
+		},
+		MethodListFiles: func(_ context.Context, params json.RawMessage) (any, error) {
+			return s.store.list(), nil
+		},
+		MethodScrub: func(_ context.Context, params json.RawMessage) (any, error) {
+			faults, err := s.store.scrub()
+			if err != nil {
+				return nil, err
+			}
+			if faults == nil {
+				faults = []ChunkFault{}
+			}
+			return faults, nil
+		},
+	}
+	for name, h := range handlers {
+		if err := s.ctl.Register(name, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) handlePrepare(ctx context.Context, a PrepareArgs) error {
+	if err := s.store.prepare(a.Info); err != nil {
+		return err
+	}
+	if !a.Relay {
+		return nil
+	}
+	if a.Info.Primary().ServerID != s.cfg.ID {
+		return fmt.Errorf("%w: %s", ErrNotPrimary, s.cfg.ID)
+	}
+	for _, rep := range a.Info.Replicas[1:] {
+		if err := s.callPeer(ctx, rep.ControlAddr, MethodPrepare,
+			PrepareArgs{Info: a.Info}, &struct{}{}); err != nil {
+			return fmt.Errorf("relay prepare to %s: %w", rep.ServerID, err)
+		}
+	}
+	return nil
+}
+
+// handleAppend orders an append as the file's primary: apply locally,
+// relay to the other replicas, report the new size to the nameserver.
+func (s *Server) handleAppend(ctx context.Context, a AppendArgs) (AppendReply, error) {
+	if len(a.Data) > MaxAppend {
+		return AppendReply{}, fmt.Errorf("dataserver: append of %d bytes exceeds %d", len(a.Data), MaxAppend)
+	}
+	fs, err := s.store.get(a.FileID)
+	if err != nil {
+		return AppendReply{}, err
+	}
+	info := fs.getInfo()
+	if info.Primary().ServerID != s.cfg.ID {
+		return AppendReply{}, fmt.Errorf("%w: primary is %s", ErrNotPrimary, info.Primary().ServerID)
+	}
+
+	// Hold the append order for the whole relay so concurrent appends
+	// see consistent offsets on every replica.
+	fs.appendMu.Lock()
+	defer fs.appendMu.Unlock()
+
+	offset := fs.localSize()
+	size, err := s.store.appendAtLocked(fs, a.FileID, offset, a.Data)
+	if err != nil {
+		return AppendReply{}, err
+	}
+	for _, rep := range info.Replicas[1:] {
+		if err := s.callPeer(ctx, rep.ControlAddr, MethodAppendAt,
+			AppendAtArgs{FileID: a.FileID, Offset: offset, Data: a.Data}, &AppendReply{}); err != nil {
+			return AppendReply{}, fmt.Errorf("relay append to %s: %w", rep.ServerID, err)
+		}
+	}
+
+	s.mu.Lock()
+	ns := s.ns
+	s.mu.Unlock()
+	if ns != nil && a.Name != "" {
+		if err := ns.ReportSize(ctx, a.Name, size); err != nil {
+			// The size report is advisory; readers learn the size from
+			// the dataserver on every read anyway.
+			s.logf("dataserver %s: report size of %s: %v", s.cfg.ID, a.Name, err)
+		}
+	}
+	return AppendReply{SizeBytes: size}, nil
+}
+
+func (s *Server) callPeer(ctx context.Context, addr, method string, args, reply any) error {
+	c, err := s.peer(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.Call(ctx, method, args, reply); err != nil {
+		var re *wire.RemoteError
+		if !errors.As(err, &re) {
+			// Transport failure: drop the cached connection so the next
+			// call redials.
+			s.dropPeer(addr)
+		}
+		return err
+	}
+	return nil
+}
+
+// --- data plane ----------------------------------------------------------
+
+// The bulk read protocol: the client sends a fixed 40-byte request
+//
+//	flowID(8) fileID(16) offset(8) length(8)
+//
+// and the server replies with status(1); on success the reply continues
+// with fileSize(8) followed by exactly length bytes of data, written
+// through the pacer. On failure a message string follows (length-prefixed
+// with 2 bytes).
+const (
+	dataStatusOK  = byte(0)
+	dataStatusErr = byte(1)
+)
+
+// ReadRequest is the bulk read header (exported for the client package).
+type ReadRequest struct {
+	FlowID uint64
+	FileID uuid.UUID
+	Offset int64
+	Length int64
+}
+
+// EncodeReadRequest serializes the request header.
+func EncodeReadRequest(r ReadRequest) []byte {
+	buf := make([]byte, 40)
+	binary.BigEndian.PutUint64(buf[0:8], r.FlowID)
+	copy(buf[8:24], r.FileID[:])
+	binary.BigEndian.PutUint64(buf[24:32], uint64(r.Offset))
+	binary.BigEndian.PutUint64(buf[32:40], uint64(r.Length))
+	return buf
+}
+
+// DecodeReadRequest parses the request header.
+func DecodeReadRequest(buf []byte) (ReadRequest, error) {
+	if len(buf) != 40 {
+		return ReadRequest{}, errors.New("dataserver: bad read request")
+	}
+	var r ReadRequest
+	r.FlowID = binary.BigEndian.Uint64(buf[0:8])
+	copy(r.FileID[:], buf[8:24])
+	r.Offset = int64(binary.BigEndian.Uint64(buf[24:32]))
+	r.Length = int64(binary.BigEndian.Uint64(buf[32:40]))
+	return r, nil
+}
+
+func (s *Server) serveData(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveOneRead(conn)
+		}()
+	}
+}
+
+func (s *Server) serveOneRead(conn net.Conn) {
+	hdr := make([]byte, 40)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return
+	}
+	req, err := DecodeReadRequest(hdr)
+	if err != nil {
+		return
+	}
+
+	fail := func(err error) {
+		msg := err.Error()
+		if len(msg) > 65535 {
+			msg = msg[:65535]
+		}
+		buf := make([]byte, 3+len(msg))
+		buf[0] = dataStatusErr
+		binary.BigEndian.PutUint16(buf[1:3], uint16(len(msg)))
+		copy(buf[3:], msg)
+		_, _ = conn.Write(buf)
+	}
+
+	// Validate before committing to a success header.
+	fs, err := s.store.get(req.FileID)
+	if err != nil {
+		fail(err)
+		return
+	}
+	size := fs.localSize()
+	if req.Offset < 0 || req.Length < 0 || req.Offset+req.Length > size {
+		fail(fmt.Errorf("%w: [%d, %d) of %d", ErrOutOfRange, req.Offset, req.Offset+req.Length, size))
+		return
+	}
+
+	var ok [9]byte
+	ok[0] = dataStatusOK
+	binary.BigEndian.PutUint64(ok[1:9], uint64(size))
+	if _, err := conn.Write(ok[:]); err != nil {
+		return
+	}
+	paced := s.cfg.Pacer.Writer(req.FlowID, conn)
+	if _, err := s.store.readAt(req.FileID, req.Offset, req.Length, paced); err != nil {
+		s.logf("dataserver %s: read %s: %v", s.cfg.ID, req.FileID, err)
+	}
+}
+
+// ReadResponseHeader parses the 9-byte success header or the error reply
+// from a bulk read stream (exported for the client package).
+func ReadResponseHeader(r io.Reader) (fileSize int64, err error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return 0, err
+	}
+	switch status[0] {
+	case dataStatusOK:
+		var sz [8]byte
+		if _, err := io.ReadFull(r, sz[:]); err != nil {
+			return 0, err
+		}
+		return int64(binary.BigEndian.Uint64(sz[:])), nil
+	case dataStatusErr:
+		var ln [2]byte
+		if _, err := io.ReadFull(r, ln[:]); err != nil {
+			return 0, err
+		}
+		msg := make([]byte, binary.BigEndian.Uint16(ln[:]))
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return 0, err
+		}
+		return 0, remoteReadError(string(msg))
+	default:
+		return 0, fmt.Errorf("dataserver: bad read status %d", status[0])
+	}
+}
+
+// remoteReadError maps a remote failure string back to this package's
+// sentinels where possible.
+func remoteReadError(msg string) error {
+	switch {
+	case strings.Contains(msg, ErrUnknownFile.Error()):
+		return fmt.Errorf("%w (remote: %s)", ErrUnknownFile, msg)
+	case strings.Contains(msg, ErrOutOfRange.Error()):
+		return fmt.Errorf("%w (remote: %s)", ErrOutOfRange, msg)
+	default:
+		return fmt.Errorf("dataserver: remote read: %s", msg)
+	}
+}

@@ -1,0 +1,106 @@
+package emunet
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/netsim"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// TestEmunetMatchesNetsim cross-validates the two network substrates: the
+// wall-clock completion times of concurrent paced transfers through
+// emunet must track the flow-level simulator's predictions for the same
+// scenario. This ties the prototype experiments (Figure 8) to the
+// simulation experiments (Figures 4–7): both halves of the evaluation
+// share one bandwidth-sharing model.
+func TestEmunetMatchesNetsim(t *testing.T) {
+	topo, err := topology.New(topology.Config{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 2,
+		EdgeLinkBps: 16e6, EdgeAggLinkBps: 16e6, AggCoreLinkBps: 8e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	hosts := topo.Hosts()
+
+	// A handful of concurrent transfers over random paths.
+	type xfer struct {
+		id   uint64
+		path topology.Path
+		bits float64
+	}
+	var xfers []xfer
+	for i := 0; i < 5; i++ {
+		src := hosts[r.Intn(len(hosts))]
+		dst := hosts[r.Intn(len(hosts))]
+		if src == dst {
+			i--
+			continue
+		}
+		paths := topo.ShortestPaths(src, dst)
+		xfers = append(xfers, xfer{
+			id:   uint64(i + 1),
+			path: paths[r.Intn(len(paths))],
+			bits: float64((64 + r.Intn(128)) * 1024 * 8), // 64–192 KB
+		})
+	}
+
+	// Predicted completion times from the simulator.
+	sim := netsim.New(topo)
+	predicted := make([]float64, len(xfers))
+	for i, x := range xfers {
+		i := i
+		sim.StartFlow(netsim.FlowConfig{
+			Links: x.path,
+			Bits:  x.bits,
+			OnComplete: func(end float64) {
+				predicted[i] = end
+			},
+		})
+	}
+	sim.Run()
+
+	// Measured completion times from the emulated network.
+	net := New(topo)
+	for _, x := range xfers {
+		if err := net.RegisterFlow(x.id, x.path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measured := make([]float64, len(xfers))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, x := range xfers {
+		i, x := i, x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := net.Writer(x.id, io.Discard)
+			if _, err := w.Write(make([]byte, int(x.bits/8))); err != nil {
+				t.Error(err)
+			}
+			measured[i] = time.Since(start).Seconds()
+			net.UnregisterFlow(x.id)
+		}()
+	}
+	wg.Wait()
+
+	// The emulated network sees flows start simultaneously but finishers
+	// release bandwidth just like the simulator, so per-flow times should
+	// agree within scheduling noise.
+	for i := range xfers {
+		if predicted[i] <= 0 {
+			t.Fatalf("flow %d: no prediction", i)
+		}
+		ratio := measured[i] / predicted[i]
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("flow %d: measured %.3fs vs predicted %.3fs (ratio %.2f)",
+				i, measured[i], predicted[i], ratio)
+		}
+	}
+}

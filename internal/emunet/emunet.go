@@ -1,0 +1,250 @@
+// Package emunet emulates a datacenter network for the Mayflower
+// prototype experiments, standing in for the paper's Mininet testbed
+// (§6.1). Real bytes move over loopback TCP between in-process servers,
+// but every registered flow's throughput is governed by a max-min fair
+// arbiter over the emulated topology — the same steady-state sharing a
+// fabric of drop-tail switches and long TCP flows converges to, and the
+// property Mininet's link shaping provides the paper.
+//
+// The package implements dataserver.Pacer: a dataserver constructed with
+// an emunet pacer streams each read through a token pacer whose rate is
+// recomputed whenever flows enter or leave the network. Optionally, SDN
+// switch agents (package sdn) can be attached to topology switch nodes;
+// the pacer then credits their per-flow and per-port byte counters as
+// traffic passes, which is what the Flowserver's stats polling observes.
+package emunet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/maxmin"
+	"github.com/mayflower-dfs/mayflower/internal/sdn"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// chunkBytes is the pacing quantum: small enough that rate changes take
+// effect quickly, large enough to keep syscall overhead negligible.
+const chunkBytes = 16 << 10
+
+// ErrUnknownFlow is returned when pacing an unregistered flow.
+var ErrUnknownFlow = errors.New("emunet: unknown flow")
+
+type emuFlow struct {
+	id    uint64
+	links []int
+
+	mu   sync.Mutex
+	rate float64 // bits per second
+	// nextFree is the virtual time before which the flow's pacer must
+	// not send more bytes.
+	nextFree time.Time
+}
+
+func (f *emuFlow) currentRate() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rate
+}
+
+// Network is the emulated fabric.
+type Network struct {
+	topo *topology.Topology
+
+	mu       sync.Mutex
+	flows    map[uint64]*emuFlow
+	switches map[topology.NodeID]*sdn.Switch
+	capacity []float64
+}
+
+// New creates an emulated network over the topology.
+func New(topo *topology.Topology) *Network {
+	capacity := make([]float64, topo.NumLinks())
+	for _, l := range topo.Links() {
+		capacity[l.ID] = l.Capacity
+	}
+	return &Network{
+		topo:     topo,
+		flows:    make(map[uint64]*emuFlow),
+		switches: make(map[topology.NodeID]*sdn.Switch),
+		capacity: capacity,
+	}
+}
+
+// Topology returns the emulated topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// AttachSwitch wires an SDN switch agent to a topology switch node so the
+// node's forwarding credits the agent's byte counters.
+func (n *Network) AttachSwitch(node topology.NodeID, sw *sdn.Switch) error {
+	kind := n.topo.Node(node).Kind
+	if kind == topology.KindHost {
+		return fmt.Errorf("emunet: node %d is a host, not a switch", node)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.switches[node] = sw
+	return nil
+}
+
+// RegisterFlow admits a flow on a path and recomputes every flow's fair
+// rate. Registering an existing id replaces its path.
+func (n *Network) RegisterFlow(id uint64, path topology.Path) error {
+	if id == 0 {
+		return errors.New("emunet: flow id 0 is reserved")
+	}
+	links := make([]int, len(path))
+	for i, l := range path {
+		if int(l) < 0 || int(l) >= len(n.capacity) {
+			return fmt.Errorf("emunet: invalid link %d", l)
+		}
+		links[i] = int(l)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f := n.flows[id]
+	if f == nil {
+		f = &emuFlow{id: id}
+		n.flows[id] = f
+	}
+	f.links = links
+	n.reallocateLocked()
+	return nil
+}
+
+// UnregisterFlow removes a flow and returns bandwidth to the others.
+// Unknown ids are a no-op.
+func (n *Network) UnregisterFlow(id uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.flows[id]; !ok {
+		return
+	}
+	delete(n.flows, id)
+	n.reallocateLocked()
+}
+
+// NumFlows returns the number of registered flows.
+func (n *Network) NumFlows() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.flows)
+}
+
+// FlowRate returns a flow's current fair rate in bits per second.
+func (n *Network) FlowRate(id uint64) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.flows[id]
+	if !ok {
+		return 0, false
+	}
+	return f.currentRate(), true
+}
+
+// reallocateLocked recomputes max-min fair rates. Caller must hold n.mu.
+func (n *Network) reallocateLocked() {
+	ids := make([]uint64, 0, len(n.flows))
+	flows := make([]maxmin.Flow, 0, len(n.flows))
+	for id, f := range n.flows {
+		ids = append(ids, id)
+		flows = append(flows, maxmin.Flow{Links: f.links, Demand: math.Inf(1)})
+	}
+	rates := maxmin.Allocate(n.capacity, flows)
+	for i, id := range ids {
+		f := n.flows[id]
+		f.mu.Lock()
+		f.rate = rates[i]
+		f.mu.Unlock()
+	}
+}
+
+// Writer implements dataserver.Pacer: writes to the returned writer are
+// paced at the flow's fair share and credited to the switch counters
+// along its path. Writes for unregistered flows (including id 0) pass
+// through unpaced and uncounted — such traffic is invisible to the
+// control plane, like any flow an operator forgot to schedule.
+func (n *Network) Writer(flowID uint64, w io.Writer) io.Writer {
+	n.mu.Lock()
+	f := n.flows[flowID]
+	n.mu.Unlock()
+	if f == nil {
+		return w
+	}
+	return &pacedWriter{net: n, flow: f, w: w}
+}
+
+var _ interface {
+	Writer(uint64, io.Writer) io.Writer
+} = (*Network)(nil)
+
+type pacedWriter struct {
+	net  *Network
+	flow *emuFlow
+	w    io.Writer
+}
+
+// Write sends b in pacing quanta, sleeping so the flow's average rate
+// tracks its allocated share even as the share changes mid-transfer.
+func (p *pacedWriter) Write(b []byte) (int, error) {
+	written := 0
+	for written < len(b) {
+		nn := len(b) - written
+		if nn > chunkBytes {
+			nn = chunkBytes
+		}
+		if err := p.pace(float64(nn * 8)); err != nil {
+			return written, err
+		}
+		m, err := p.w.Write(b[written : written+nn])
+		written += m
+		if m > 0 {
+			p.credit(uint64(m))
+		}
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// pace blocks until the flow may send another bits-sized quantum.
+func (p *pacedWriter) pace(bits float64) error {
+	f := p.flow
+	f.mu.Lock()
+	rate := f.rate
+	if rate <= 0 {
+		// A flow can be momentarily starved during reallocation races;
+		// treat a tiny floor as the minimum rate rather than dividing by
+		// zero.
+		rate = 1
+	}
+	now := time.Now()
+	if f.nextFree.Before(now) {
+		f.nextFree = now
+	}
+	start := f.nextFree
+	f.nextFree = start.Add(time.Duration(bits / rate * float64(time.Second)))
+	f.mu.Unlock()
+
+	if d := time.Until(start); d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+// credit adds transmitted bytes to the SDN switch counters along the path.
+func (p *pacedWriter) credit(bytes uint64) {
+	p.net.mu.Lock()
+	defer p.net.mu.Unlock()
+	for _, l := range p.flow.links {
+		link := p.net.topo.Link(topology.LinkID(l))
+		if sw, ok := p.net.switches[link.From]; ok {
+			sw.AddBytes(p.flow.id, uint32(l), bytes)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package emunet
+
+import (
+	"context"
+	"time"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

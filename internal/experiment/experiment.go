@@ -1,0 +1,507 @@
+// Package experiment reproduces the Mayflower paper's simulation
+// evaluation (§6): it wires the synthetic workload generator, the five
+// replica/path-selection schemes of §6.2, and the flow-level network
+// simulator together, and reports the job completion time statistics shown
+// in Figures 4 through 7 (plus the §4.3 multi-replica result and the
+// ablations called out in DESIGN.md).
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/netsim"
+	"github.com/mayflower-dfs/mayflower/internal/selection"
+	"github.com/mayflower-dfs/mayflower/internal/stats"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+	"github.com/mayflower-dfs/mayflower/internal/workload"
+)
+
+// Scheme is a replica-selection + path-selection combination (§6.2).
+type Scheme int
+
+// The five schemes of the replica/path selection comparison, plus the two
+// HDFS-based schemes of the prototype comparison (Figure 8).
+const (
+	// SchemeMayflower is the paper's contribution: joint replica and path
+	// selection by the Flowserver.
+	SchemeMayflower Scheme = iota + 1
+	// SchemeSinbadRMayflower: Sinbad-R replica selection, Mayflower's
+	// flow scheduler for the path.
+	SchemeSinbadRMayflower
+	// SchemeSinbadRECMP: Sinbad-R replica selection, ECMP paths.
+	SchemeSinbadRECMP
+	// SchemeNearestMayflower: nearest replica, Mayflower path scheduler.
+	SchemeNearestMayflower
+	// SchemeNearestECMP: nearest replica, ECMP paths ("HDFS with ECMP").
+	SchemeNearestECMP
+	// SchemeHDFSECMP: HDFS rack-aware replica selection with ECMP.
+	SchemeHDFSECMP
+	// SchemeHDFSMayflower: HDFS rack-aware replica selection with the
+	// Mayflower flow scheduler.
+	SchemeHDFSMayflower
+)
+
+// String returns the scheme name as the paper's figures label it.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeMayflower:
+		return "Mayflower"
+	case SchemeSinbadRMayflower:
+		return "Sinbad-R Mayflower"
+	case SchemeSinbadRECMP:
+		return "Sinbad-R ECMP"
+	case SchemeNearestMayflower:
+		return "Nearest Mayflower"
+	case SchemeNearestECMP:
+		return "Nearest ECMP"
+	case SchemeHDFSECMP:
+		return "HDFS-ECMP"
+	case SchemeHDFSMayflower:
+		return "HDFS-Mayflower"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AllSchemes lists the five schemes of Figures 4-6 in the paper's bar
+// order.
+var AllSchemes = []Scheme{
+	SchemeMayflower,
+	SchemeSinbadRMayflower,
+	SchemeSinbadRECMP,
+	SchemeNearestMayflower,
+	SchemeNearestECMP,
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Scheme is the replica/path selection combination under test.
+	Scheme Scheme
+	// Oversubscription is the core-to-rack ratio (8, 16 or 24).
+	Oversubscription float64
+	// Lambda is the Poisson job arrival rate per server per second.
+	Lambda float64
+	// NumJobs is the number of read jobs to simulate.
+	NumJobs int
+	// WarmupJobs are excluded from the reported statistics while the
+	// system ramps up.
+	WarmupJobs int
+	// NumFiles is the catalog size.
+	NumFiles int
+	// FileBits is the per-job read size (the paper reads 256 MB blocks).
+	FileBits float64
+	// Replication is the number of replicas per file (3 in the paper).
+	Replication int
+	// Locality is the staggered client placement distribution.
+	Locality workload.Locality
+	// StatsInterval is the switch-counter polling period in seconds.
+	StatsInterval float64
+	// MultiReplica enables §4.3 parallel multi-replica reads
+	// (Mayflower scheme only).
+	MultiReplica bool
+	// DisableImpactTerm / DisableFreeze are the DESIGN.md ablations.
+	DisableImpactTerm bool
+	DisableFreeze     bool
+	// BackgroundLoad injects non-filesystem cross traffic the Flowserver
+	// cannot see or schedule: random host-to-host transfers over ECMP
+	// paths arriving at BackgroundLoad times the job rate, each moving
+	// one file-sized payload. The paper's workload studies note that
+	// 54-85% of datacenter traffic is filesystem traffic (§2.2) — this
+	// knob models the rest and probes §4.2's claim that periodic counter
+	// polls keep bandwidth estimates from drifting when the model is
+	// incomplete.
+	BackgroundLoad float64
+	// Seed drives all randomness; equal seeds give identical traces.
+	Seed int64
+}
+
+// Defaults returns the paper's default parameters for a scheme: the §6.1
+// testbed at 8:1 oversubscription, λ = 0.07, 256 MB reads, replication 3,
+// rack-heavy locality (0.5, 0.3, 0.2), and 1 s stats polling.
+func Defaults(scheme Scheme) Config {
+	return Config{
+		Scheme:           scheme,
+		Oversubscription: 8,
+		Lambda:           0.07,
+		NumJobs:          1200,
+		WarmupJobs:       100,
+		NumFiles:         300,
+		FileBits:         256 * 8 * 1e6, // 256 MB
+		Replication:      3,
+		Locality:         workload.LocalityRackHeavy,
+		StatsInterval:    1.0,
+		Seed:             1,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Scheme < SchemeMayflower || c.Scheme > SchemeHDFSMayflower:
+		return fmt.Errorf("experiment: unknown scheme %d", int(c.Scheme))
+	case c.Oversubscription <= 0:
+		return fmt.Errorf("experiment: oversubscription must be > 0, got %g", c.Oversubscription)
+	case c.NumJobs <= 0:
+		return fmt.Errorf("experiment: NumJobs must be > 0, got %d", c.NumJobs)
+	case c.WarmupJobs < 0 || c.WarmupJobs >= c.NumJobs:
+		return fmt.Errorf("experiment: WarmupJobs %d out of range for %d jobs", c.WarmupJobs, c.NumJobs)
+	case c.StatsInterval <= 0:
+		return fmt.Errorf("experiment: StatsInterval must be > 0, got %g", c.StatsInterval)
+	}
+	return nil
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Config Config
+	// CompletionTimes holds per-job completion times in seconds
+	// (arrival to last byte), warmup excluded, in arrival order.
+	CompletionTimes []float64
+	// SubflowSkews holds, for each job that was split across two
+	// replicas, the absolute difference between the subflows' finish
+	// times (§4.3 reports this stays under a second).
+	SubflowSkews []float64
+	// SplitJobs counts jobs served from two replicas in parallel.
+	SplitJobs int
+	// LocalJobs counts jobs whose chosen replica was co-located with the
+	// client (zero network time).
+	LocalJobs int
+	// Summary aggregates CompletionTimes.
+	Summary stats.Summary
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(topology.PaperTestbed(cfg.Oversubscription))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat, err := workload.NewCatalog(topo, rng, workload.CatalogConfig{
+		NumFiles:    cfg.NumFiles,
+		SizeBits:    cfg.FileBits,
+		Replication: cfg.Replication,
+		Placement:   workload.PlacementPaperEval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := workload.Generate(topo, rng, cat, workload.TraceConfig{
+		LambdaPerServer: cfg.Lambda,
+		NumJobs:         cfg.NumJobs,
+		ZipfSkew:        1.1,
+		Locality:        cfg.Locality,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &runner{
+		cfg:  cfg,
+		topo: topo,
+		sim:  netsim.New(topo),
+		rng:  rng,
+		cat:  cat,
+		res:  &Result{Config: cfg},
+	}
+	r.setupPolicies()
+	r.scheduleJobs(jobs)
+	if cfg.BackgroundLoad > 0 && len(jobs) > 0 {
+		r.scheduleBackground(jobs[len(jobs)-1].Time)
+	}
+	r.schedulePolling()
+	r.sim.Run()
+
+	if got, want := len(r.res.CompletionTimes)+r.skipped, cfg.NumJobs-cfg.WarmupJobs; got != want {
+		return nil, fmt.Errorf("experiment: recorded %d of %d measured jobs", got, want)
+	}
+	r.res.Summary = stats.Summarize(r.res.CompletionTimes)
+	return r.res, nil
+}
+
+// runner carries the per-run state.
+type runner struct {
+	cfg  Config
+	topo *topology.Topology
+	sim  *netsim.Sim
+	rng  *rand.Rand
+	cat  *workload.Catalog
+	res  *Result
+
+	// Policy components; which are non-nil depends on the scheme.
+	fs      *flowserver.Server
+	nearest *selection.Nearest
+	hdfs    *selection.HDFSRackAware
+	sinbad  *selection.SinbadR
+	ecmp    *selection.ECMP
+
+	// Sinbad-R's (stale) utilization snapshot, refreshed every poll.
+	util     selection.StaticUtilization
+	lastPoll float64
+	prevBits []float64
+
+	// Mayflower flow bookkeeping: Flowserver id → simulator id.
+	tracked map[flowserver.FlowID]netsim.FlowID
+
+	skipped int // failed selections (should stay zero)
+	polling bool
+}
+
+func (r *runner) setupPolicies() {
+	cfg := r.cfg
+	usesFlowserver := false
+	switch cfg.Scheme {
+	case SchemeMayflower, SchemeSinbadRMayflower, SchemeNearestMayflower, SchemeHDFSMayflower:
+		usesFlowserver = true
+	}
+	if usesFlowserver {
+		r.fs = flowserver.New(r.topo, flowserver.Options{
+			MultiReplica:      cfg.MultiReplica && cfg.Scheme == SchemeMayflower,
+			DisableImpactTerm: cfg.DisableImpactTerm,
+			DisableFreeze:     cfg.DisableFreeze,
+			Now:               r.sim.Now,
+		})
+		r.tracked = make(map[flowserver.FlowID]netsim.FlowID)
+		r.polling = true
+	}
+	switch cfg.Scheme {
+	case SchemeNearestMayflower, SchemeNearestECMP:
+		r.nearest = selection.NewNearest(r.topo, r.rng)
+	case SchemeHDFSECMP, SchemeHDFSMayflower:
+		r.hdfs = selection.NewHDFSRackAware(r.topo, r.rng)
+	case SchemeSinbadRMayflower, SchemeSinbadRECMP:
+		r.util = make(selection.StaticUtilization)
+		r.sinbad = selection.NewSinbadR(r.topo, r.rng, r.util)
+		r.prevBits = make([]float64, r.topo.NumLinks())
+		r.polling = true
+	}
+	switch cfg.Scheme {
+	case SchemeSinbadRECMP, SchemeNearestECMP, SchemeHDFSECMP:
+		r.ecmp = selection.NewECMP(r.topo)
+	}
+}
+
+func (r *runner) scheduleJobs(jobs []workload.Job) {
+	for _, job := range jobs {
+		job := job
+		r.sim.Schedule(job.Time, func() { r.startJob(job) })
+	}
+}
+
+// scheduleBackground injects cross traffic until the trace ends: random
+// host pairs move file-sized payloads over ECMP paths. These flows never
+// touch the Flowserver's model or Sinbad-R's visibility beyond what the
+// link counters naturally report.
+func (r *runner) scheduleBackground(horizon float64) {
+	bgRng := rand.New(rand.NewSource(r.cfg.Seed + 0x6267)) // independent stream
+	bgECMP := selection.NewECMP(r.topo)
+	hosts := r.topo.Hosts()
+	rate := r.cfg.Lambda * float64(len(hosts)) * r.cfg.BackgroundLoad
+	var now float64
+	for key := uint64(0); ; key++ {
+		now += bgRng.ExpFloat64() / rate
+		if now > horizon {
+			return
+		}
+		src := hosts[bgRng.Intn(len(hosts))]
+		dst := hosts[bgRng.Intn(len(hosts))]
+		if src == dst {
+			continue
+		}
+		path, err := bgECMP.SelectPath(src, dst, key)
+		if err != nil {
+			continue
+		}
+		bits := r.cfg.FileBits
+		start := now
+		r.sim.Schedule(start, func() {
+			r.sim.StartFlow(netsim.FlowConfig{Links: path, Bits: bits})
+		})
+	}
+}
+
+// schedulePolling installs the periodic stats collection loop: switch
+// counters feed the Flowserver's bandwidth model and Sinbad-R's
+// utilization snapshot. Polling pauses while the network is idle and is
+// restarted by ensurePolling when new flows appear.
+func (r *runner) schedulePolling() {
+	if !r.polling {
+		return
+	}
+	r.sim.Schedule(r.cfg.StatsInterval, r.pollTick)
+}
+
+// ensurePolling restarts the polling loop after an idle pause.
+func (r *runner) ensurePolling() {
+	if r.polling || (r.fs == nil && r.sinbad == nil) {
+		return
+	}
+	r.polling = true
+	r.sim.Schedule(r.sim.Now()+r.cfg.StatsInterval, r.pollTick)
+}
+
+// pollTick performs one stats collection cycle and re-arms itself while
+// flows remain in the network.
+func (r *runner) pollTick() {
+	now := r.sim.Now()
+	if r.fs != nil {
+		statsBatch := make([]flowserver.FlowStat, 0, len(r.tracked))
+		for fsID, simID := range r.tracked {
+			statsBatch = append(statsBatch, flowserver.FlowStat{
+				ID:              fsID,
+				TransferredBits: r.sim.FlowTransferred(simID),
+			})
+		}
+		r.fs.UpdateFlowStats(now, statsBatch)
+	}
+	if r.sinbad != nil {
+		dt := now - r.lastPoll
+		if dt > 0 {
+			for id := 0; id < r.topo.NumLinks(); id++ {
+				lid := topology.LinkID(id)
+				bits := r.sim.LinkTransferred(lid)
+				r.util[lid] = (bits - r.prevBits[id]) / dt
+				r.prevBits[id] = bits
+			}
+		}
+		r.lastPoll = now
+	}
+	if r.sim.NumActiveFlows() > 0 {
+		r.sim.Schedule(now+r.cfg.StatsInterval, r.pollTick)
+	} else {
+		r.polling = false
+	}
+}
+
+// startJob performs replica/path selection for one job and launches its
+// flow(s) in the simulator.
+func (r *runner) startJob(job workload.Job) {
+	file := &r.cat.Files[job.FileIndex]
+	measured := job.ID >= r.cfg.WarmupJobs
+	defer r.ensurePolling()
+
+	record := func(end float64) {
+		if measured {
+			r.res.CompletionTimes = append(r.res.CompletionTimes, end-job.Time)
+		}
+	}
+
+	switch r.cfg.Scheme {
+	case SchemeMayflower:
+		as, err := r.fs.SelectReplicaAndPath(flowserver.Request{
+			Client:   job.Client,
+			Replicas: file.Replicas,
+			Bits:     file.SizeBits,
+		})
+		if err != nil {
+			r.skip(measured)
+			return
+		}
+		r.launchAssignments(job, as, record, measured)
+
+	case SchemeSinbadRMayflower, SchemeNearestMayflower, SchemeHDFSMayflower:
+		replica, err := r.selectReplica(job.Client, file.Replicas)
+		if err != nil {
+			r.skip(measured)
+			return
+		}
+		if replica == job.Client {
+			r.localJob(record, measured)
+			return
+		}
+		a, err := r.fs.SelectPath(job.Client, replica, file.SizeBits)
+		if err != nil {
+			r.skip(measured)
+			return
+		}
+		r.launchAssignments(job, []flowserver.Assignment{a}, record, measured)
+
+	case SchemeSinbadRECMP, SchemeNearestECMP, SchemeHDFSECMP:
+		replica, err := r.selectReplica(job.Client, file.Replicas)
+		if err != nil {
+			r.skip(measured)
+			return
+		}
+		if replica == job.Client {
+			r.localJob(record, measured)
+			return
+		}
+		path, err := r.ecmp.SelectPath(replica, job.Client, uint64(job.ID))
+		if err != nil {
+			r.skip(measured)
+			return
+		}
+		r.sim.StartFlow(netsim.FlowConfig{
+			Links:      path,
+			Bits:       file.SizeBits,
+			OnComplete: record,
+		})
+	}
+}
+
+func (r *runner) selectReplica(client topology.NodeID, replicas []topology.NodeID) (topology.NodeID, error) {
+	switch {
+	case r.nearest != nil:
+		return r.nearest.SelectReplica(client, replicas)
+	case r.hdfs != nil:
+		return r.hdfs.SelectReplica(client, replicas)
+	case r.sinbad != nil:
+		return r.sinbad.SelectReplica(client, replicas)
+	default:
+		return 0, fmt.Errorf("experiment: no replica selector for scheme %v", r.cfg.Scheme)
+	}
+}
+
+// launchAssignments starts one simulator flow per Flowserver assignment
+// and completes the job when the last subflow finishes.
+func (r *runner) launchAssignments(job workload.Job, as []flowserver.Assignment, record func(float64), measured bool) {
+	if len(as) == 1 && as[0].Local() {
+		r.localJob(record, measured)
+		return
+	}
+	if len(as) > 1 && measured {
+		r.res.SplitJobs++
+	}
+	pending := len(as)
+	ends := make([]float64, 0, len(as))
+	for _, a := range as {
+		a := a
+		simID := r.sim.StartFlow(netsim.FlowConfig{
+			Links: a.Path,
+			Bits:  a.Bits,
+			OnComplete: func(end float64) {
+				delete(r.tracked, a.FlowID)
+				r.fs.FlowFinished(a.FlowID)
+				pending--
+				ends = append(ends, end)
+				if pending == 0 {
+					record(end)
+					if len(ends) == 2 && measured {
+						r.res.SubflowSkews = append(r.res.SubflowSkews, math.Abs(ends[0]-ends[1]))
+					}
+				}
+			},
+		})
+		r.tracked[a.FlowID] = simID
+	}
+}
+
+// localJob records a read served from a co-located replica: no network
+// transfer, so it completes immediately.
+func (r *runner) localJob(record func(float64), measured bool) {
+	if measured {
+		r.res.LocalJobs++
+	}
+	record(r.sim.Now())
+}
+
+func (r *runner) skip(measured bool) {
+	if measured {
+		r.skipped++
+	}
+}

@@ -1,0 +1,410 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/workload"
+)
+
+// smallConfig returns a scaled-down run that keeps tests fast while
+// preserving the workload's character.
+func smallConfig(scheme Scheme) Config {
+	cfg := Defaults(scheme)
+	cfg.NumJobs = 500
+	cfg.WarmupJobs = 60
+	cfg.NumFiles = 150
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", cfg.Scheme, err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unknown scheme", func(c *Config) { c.Scheme = Scheme(99) }},
+		{"zero oversub", func(c *Config) { c.Oversubscription = 0 }},
+		{"zero jobs", func(c *Config) { c.NumJobs = 0 }},
+		{"warmup >= jobs", func(c *Config) { c.WarmupJobs = c.NumJobs }},
+		{"zero poll", func(c *Config) { c.StatsInterval = 0 }},
+		{"zero lambda", func(c *Config) { c.Lambda = 0 }},
+		{"zero files", func(c *Config) { c.NumFiles = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig(SchemeMayflower)
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("Run accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{
+		SchemeMayflower, SchemeSinbadRMayflower, SchemeSinbadRECMP,
+		SchemeNearestMayflower, SchemeNearestECMP,
+		SchemeHDFSECMP, SchemeHDFSMayflower,
+	} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := smallConfig(s)
+			cfg.NumJobs = 250
+			cfg.WarmupJobs = 30
+			res := mustRun(t, cfg)
+			if res.Summary.N != cfg.NumJobs-cfg.WarmupJobs {
+				t.Errorf("measured %d jobs, want %d", res.Summary.N, cfg.NumJobs-cfg.WarmupJobs)
+			}
+			if res.Summary.Mean <= 0 {
+				t.Errorf("mean completion %g, want > 0", res.Summary.Mean)
+			}
+			for _, ct := range res.CompletionTimes {
+				if ct < 0 {
+					t.Fatalf("negative completion time %g", ct)
+				}
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 200
+	cfg.WarmupJobs = 20
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if len(a.CompletionTimes) != len(b.CompletionTimes) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.CompletionTimes), len(b.CompletionTimes))
+	}
+	for i := range a.CompletionTimes {
+		if a.CompletionTimes[i] != b.CompletionTimes[i] {
+			t.Fatalf("job %d differs: %g vs %g", i, a.CompletionTimes[i], b.CompletionTimes[i])
+		}
+	}
+}
+
+// TestFigure4Shape checks the paper's headline ordering (Figure 4):
+// Mayflower < Sinbad-R Mayflower <= Sinbad-R ECMP < Nearest schemes, and
+// the p95 gap for Nearest schemes being much larger than the mean gap
+// (stragglers).
+func TestFigure4Shape(t *testing.T) {
+	tbl, err := Figure4(smallConfig(SchemeMayflower))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	byScheme := make(map[Scheme]NormalizedRow, len(tbl.Rows))
+	for _, r := range tbl.Rows {
+		byScheme[r.Scheme] = r
+	}
+	if r := byScheme[SchemeMayflower]; r.AvgRatio != 1 || r.P95Ratio != 1 {
+		t.Errorf("Mayflower row not normalized to 1: %+v", r)
+	}
+	// Paper: 1.42x / 1.69x / 3.24x / 3.42x. Require the ordering and
+	// rough magnitudes, not the exact testbed numbers.
+	srMF := byScheme[SchemeSinbadRMayflower].AvgRatio
+	srECMP := byScheme[SchemeSinbadRECMP].AvgRatio
+	nMF := byScheme[SchemeNearestMayflower].AvgRatio
+	nECMP := byScheme[SchemeNearestECMP].AvgRatio
+
+	if !(srMF > 1.05) {
+		t.Errorf("Sinbad-R Mayflower ratio %.2f, want > 1.05", srMF)
+	}
+	if !(srECMP >= srMF) {
+		t.Errorf("Sinbad-R ECMP (%.2f) should not beat Sinbad-R Mayflower (%.2f)", srECMP, srMF)
+	}
+	if !(nMF > 1.8*srMF) {
+		t.Errorf("Nearest Mayflower (%.2f) should be far worse than Sinbad-R Mayflower (%.2f)", nMF, srMF)
+	}
+	if !(nECMP >= nMF*0.9) {
+		t.Errorf("Nearest ECMP (%.2f) should be about as bad as Nearest Mayflower (%.2f)", nECMP, nMF)
+	}
+	// Stragglers: the Nearest p95 ratio dwarfs its mean ratio.
+	if p95 := byScheme[SchemeNearestECMP].P95Ratio; !(p95 > nECMP) {
+		t.Errorf("Nearest ECMP p95 ratio %.2f should exceed its mean ratio %.2f", p95, nECMP)
+	}
+}
+
+func TestNormalizedComparisonRequiresMayflowerFirst(t *testing.T) {
+	if _, err := normalizedComparison(smallConfig(SchemeMayflower), []Scheme{SchemeNearestECMP}); err == nil {
+		t.Error("normalizedComparison accepted a non-Mayflower lead scheme")
+	}
+}
+
+// TestFigure5CoreHeavyPathSelectionMatters checks §6.4's observation for
+// the (0.2,0.3,0.5) mix: schemes with Mayflower's path scheduler beat
+// their ECMP counterparts when half the traffic crosses the core.
+func TestFigure5CoreHeavyPathSelectionMatters(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.Locality = workload.LocalityCoreHeavy
+	tbl, err := normalizedComparison(cfg, AllSchemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := make(map[Scheme]NormalizedRow)
+	for _, r := range tbl.Rows {
+		byScheme[r.Scheme] = r
+	}
+	if n, ne := byScheme[SchemeNearestMayflower].AvgRatio, byScheme[SchemeNearestECMP].AvgRatio; n > ne {
+		t.Errorf("Nearest Mayflower (%.2f) should beat Nearest ECMP (%.2f) under core-heavy locality", n, ne)
+	}
+	if s, se := byScheme[SchemeSinbadRMayflower].AvgRatio, byScheme[SchemeSinbadRECMP].AvgRatio; s > se {
+		t.Errorf("Sinbad-R Mayflower (%.2f) should beat Sinbad-R ECMP (%.2f) under core-heavy locality", s, se)
+	}
+}
+
+// TestLambdaScaling checks Figure 6's qualitative claim: completion time
+// grows with λ, and grows much faster for Nearest ECMP than for Mayflower.
+func TestLambdaScaling(t *testing.T) {
+	run := func(s Scheme, lambda float64) float64 {
+		cfg := smallConfig(s)
+		cfg.Lambda = lambda
+		cfg.NumJobs = 400
+		cfg.WarmupJobs = 50
+		return mustRun(t, cfg).Summary.Mean
+	}
+	mfLow, mfHigh := run(SchemeMayflower, 0.06), run(SchemeMayflower, 0.12)
+	neLow, neHigh := run(SchemeNearestECMP, 0.06), run(SchemeNearestECMP, 0.12)
+
+	if mfHigh < mfLow*0.95 {
+		t.Errorf("Mayflower mean fell with load: %.2f -> %.2f", mfLow, mfHigh)
+	}
+	if neHigh <= neLow {
+		t.Errorf("Nearest ECMP mean did not grow with load: %.2f -> %.2f", neLow, neHigh)
+	}
+	// The paper's Figure 6(a): Mayflower shows "a small increase in
+	// completion time" while Nearest degrades quickly — compare the
+	// absolute slopes.
+	if growthMF, growthNE := mfHigh-mfLow, neHigh-neLow; growthNE <= growthMF {
+		t.Errorf("Nearest ECMP growth (+%.2fs) should exceed Mayflower growth (+%.2fs)", growthNE, growthMF)
+	}
+}
+
+// TestOversubscriptionScaling checks Figure 7: doubling the
+// oversubscription ratio roughly doubles completion times.
+func TestOversubscriptionScaling(t *testing.T) {
+	run := func(over float64) float64 {
+		cfg := smallConfig(SchemeMayflower)
+		cfg.Oversubscription = over
+		cfg.NumJobs = 400
+		cfg.WarmupJobs = 50
+		return mustRun(t, cfg).Summary.Mean
+	}
+	m8, m16 := run(8), run(16)
+	if m16 <= m8 {
+		t.Errorf("mean at 16:1 (%.2f) should exceed mean at 8:1 (%.2f)", m16, m8)
+	}
+	if m16 > m8*4 {
+		t.Errorf("mean at 16:1 (%.2f) implausibly far above 8:1 (%.2f)", m16, m8)
+	}
+}
+
+func TestMultiRead(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	res, err := MultiRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multi.SplitJobs == 0 {
+		t.Error("no jobs were split across replicas")
+	}
+	// §4.3: "completion time of read jobs is further reduced up to 10% on
+	// average". Require it not to hurt beyond noise.
+	if res.MeanReductionPct < -5 {
+		t.Errorf("multi-replica reads hurt mean by %.1f%%", -res.MeanReductionPct)
+	}
+	// Subflow skew must be small relative to mean completion time
+	// (paper: < 1 s for 256 MB reads).
+	if res.SkewSummary.N == 0 {
+		t.Fatal("no subflow skews recorded")
+	}
+	if res.SkewSummary.Mean > res.Multi.Summary.Mean {
+		t.Errorf("mean skew %.2f exceeds mean completion %.2f", res.SkewSummary.Mean, res.Multi.Summary.Mean)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 400
+	cfg.WarmupJobs = 50
+
+	cost, err := AblateCostTerm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.MeanRatio <= 0 {
+		t.Errorf("cost ablation ratio %g", cost.MeanRatio)
+	}
+
+	freeze, err := AblateFreeze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeze.MeanRatio <= 0 {
+		t.Errorf("freeze ablation ratio %g", freeze.MeanRatio)
+	}
+}
+
+func TestPollSweep(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 250
+	cfg.WarmupJobs = 30
+	sw, err := PollSweep(cfg, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("got %d points", len(sw.Points))
+	}
+	for _, p := range sw.Points {
+		if p.Mean <= 0 {
+			t.Errorf("interval %g: mean %g", p.X, p.Mean)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeMayflower:        "Mayflower",
+		SchemeSinbadRMayflower: "Sinbad-R Mayflower",
+		SchemeSinbadRECMP:      "Sinbad-R ECMP",
+		SchemeNearestMayflower: "Nearest Mayflower",
+		SchemeNearestECMP:      "Nearest ECMP",
+		SchemeHDFSECMP:         "HDFS-ECMP",
+		SchemeHDFSMayflower:    "HDFS-Mayflower",
+		Scheme(42):             "Scheme(42)",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestWriteReports(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 200
+	cfg.WarmupJobs = 20
+
+	tbl, err := normalizedComparison(cfg, AllSchemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteNormalizedTable(&sb, tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range AllSchemes {
+		if !strings.Contains(sb.String(), s.String()) {
+			t.Errorf("table missing scheme %v", s)
+		}
+	}
+
+	sw, err := PollSweep(cfg, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteSweep(&sb, sw, "interval"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Mayflower") {
+		t.Error("sweep table missing scheme name")
+	}
+
+	mr, err := MultiRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteMultiRead(&sb, mr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "multi-replica") {
+		t.Error("multi-read report missing header")
+	}
+
+	ab, err := AblateFreeze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteAblation(&sb, ab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "update-freeze") {
+		t.Error("ablation report missing name")
+	}
+}
+
+func TestHDFSVsMayflowerShape(t *testing.T) {
+	// Figure 8's qualitative content: HDFS-ECMP ≫ HDFS-Mayflower ≥
+	// Mayflower (network load balancing helps, co-design helps more).
+	run := func(s Scheme) float64 {
+		cfg := smallConfig(s)
+		cfg.NumJobs = 400
+		cfg.WarmupJobs = 50
+		return mustRun(t, cfg).Summary.Mean
+	}
+	mf := run(SchemeMayflower)
+	hdfsMF := run(SchemeHDFSMayflower)
+	hdfsECMP := run(SchemeHDFSECMP)
+	if !(mf < hdfsECMP) {
+		t.Errorf("Mayflower (%.2f) should beat HDFS-ECMP (%.2f)", mf, hdfsECMP)
+	}
+	if !(hdfsMF <= hdfsECMP*1.05) {
+		t.Errorf("HDFS-Mayflower (%.2f) should not trail HDFS-ECMP (%.2f)", hdfsMF, hdfsECMP)
+	}
+}
+
+// TestBackgroundSweep checks the cross-traffic robustness experiment:
+// completion times grow with unscheduled load, and Mayflower stays ahead
+// of Nearest ECMP even with its model half-blind.
+func TestBackgroundSweep(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 300
+	cfg.WarmupJobs = 40
+	sw, err := BackgroundSweep(cfg, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := make(map[[2]interface{}]float64)
+	for _, p := range sw.Points {
+		means[[2]interface{}{p.X, p.Scheme}] = p.Mean
+	}
+	mf0 := means[[2]interface{}{0.0, SchemeMayflower}]
+	mf5 := means[[2]interface{}{0.5, SchemeMayflower}]
+	ne5 := means[[2]interface{}{0.5, SchemeNearestECMP}]
+	if mf5 < mf0 {
+		t.Errorf("Mayflower mean fell with background load: %.2f -> %.2f", mf0, mf5)
+	}
+	if mf5 >= ne5 {
+		t.Errorf("Mayflower (%.2f) lost to Nearest ECMP (%.2f) at 0.5 background load", mf5, ne5)
+	}
+}
+
+func TestBackgroundDeterministic(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 150
+	cfg.WarmupJobs = 20
+	cfg.BackgroundLoad = 0.5
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	for i := range a.CompletionTimes {
+		if a.CompletionTimes[i] != b.CompletionTimes[i] {
+			t.Fatalf("background runs diverge at job %d", i)
+		}
+	}
+}

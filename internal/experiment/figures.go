@@ -1,0 +1,309 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/mayflower-dfs/mayflower/internal/stats"
+	"github.com/mayflower-dfs/mayflower/internal/workload"
+)
+
+// NormalizedRow is one bar of Figures 4 and 5: a scheme's average and 95th
+// percentile completion time normalized to Mayflower's, with a Fieller
+// confidence interval on the ratio of means.
+type NormalizedRow struct {
+	Scheme   Scheme
+	AvgRatio float64
+	AvgCI    stats.Interval
+	P95Ratio float64
+	// Raw summaries for reference.
+	Summary stats.Summary
+}
+
+// NormalizedTable is a group of normalized bars sharing one workload.
+type NormalizedTable struct {
+	Locality workload.Locality
+	Lambda   float64
+	Rows     []NormalizedRow
+}
+
+// Figure4 reproduces Figure 4: average and 95th-percentile job completion
+// times of the five schemes normalized to Mayflower, with 50% of clients
+// in the same rack as the primary replica (locality 0.5, 0.3, 0.2) and
+// λ = 0.07.
+func Figure4(base Config) (*NormalizedTable, error) {
+	base.Locality = workload.LocalityRackHeavy
+	return normalizedComparison(base, AllSchemes)
+}
+
+// Figure5 reproduces Figure 5: the Figure 4 comparison across the four
+// client-locality distributions (0.5,0.3,0.2), (0.3,0.5,0.2),
+// (0.2,0.3,0.5) and (1/3,1/3,1/3).
+func Figure5(base Config) ([]*NormalizedTable, error) {
+	locs := []workload.Locality{
+		workload.LocalityRackHeavy,
+		workload.LocalityPodHeavy,
+		workload.LocalityCoreHeavy,
+		workload.LocalityUniform,
+	}
+	tables := make([]*NormalizedTable, 0, len(locs))
+	for _, loc := range locs {
+		cfg := base
+		cfg.Locality = loc
+		tbl, err := normalizedComparison(cfg, AllSchemes)
+		if err != nil {
+			return nil, fmt.Errorf("locality %v: %w", loc, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// normalizedComparison runs every scheme on the same workload seed and
+// normalizes to the first scheme (Mayflower).
+func normalizedComparison(base Config, schemes []Scheme) (*NormalizedTable, error) {
+	if len(schemes) == 0 || schemes[0] != SchemeMayflower {
+		return nil, fmt.Errorf("experiment: normalized comparison must lead with Mayflower")
+	}
+	results := make([]*Result, 0, len(schemes))
+	for _, s := range schemes {
+		cfg := base
+		cfg.Scheme = s
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scheme %v: %w", s, err)
+		}
+		results = append(results, res)
+	}
+	baseTimes := results[0].CompletionTimes
+	baseSummary := results[0].Summary
+
+	tbl := &NormalizedTable{Locality: base.Locality, Lambda: base.Lambda}
+	for i, res := range results {
+		row := NormalizedRow{Scheme: schemes[i], Summary: res.Summary}
+		ratio, ci, err := stats.RatioCI(res.CompletionTimes, baseTimes, 0.95)
+		if err != nil {
+			// Degenerate sample (e.g. tiny test runs): fall back to the
+			// plain ratio without an interval.
+			ratio = safeRatio(res.Summary.Mean, baseSummary.Mean)
+			ci = stats.Interval{Lo: ratio, Hi: ratio}
+		}
+		row.AvgRatio = ratio
+		row.AvgCI = ci
+		row.P95Ratio = safeRatio(res.Summary.P95, baseSummary.P95)
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// SweepPoint is one (x, scheme) cell of a line figure: the mean completion
+// time with its Student-t confidence interval, and the 95th percentile.
+type SweepPoint struct {
+	X      float64 // λ for Figure 6, oversubscription for Figure 7
+	Scheme Scheme
+	Mean   float64
+	MeanCI stats.Interval
+	P95    float64
+}
+
+// Sweep is a line figure: a series of points per scheme.
+type Sweep struct {
+	Label    string
+	Locality workload.Locality
+	Points   []SweepPoint
+}
+
+// Figure6a reproduces Figure 6(a): average and 95th-percentile completion
+// times versus the per-server job arrival rate λ ∈ [0.06, 0.14] under
+// rack-heavy locality (0.5, 0.3, 0.2).
+func Figure6a(base Config) (*Sweep, error) {
+	base.Locality = workload.LocalityRackHeavy
+	return lambdaSweep(base, "fig6a", []float64{0.06, 0.07, 0.08, 0.09, 0.10, 0.11, 0.12, 0.13, 0.14})
+}
+
+// Figure6b reproduces Figure 6(b): the same sweep for λ ∈ [0.06, 0.10]
+// under core-heavy locality (0.2, 0.3, 0.5).
+func Figure6b(base Config) (*Sweep, error) {
+	base.Locality = workload.LocalityCoreHeavy
+	return lambdaSweep(base, "fig6b", []float64{0.06, 0.07, 0.08, 0.09, 0.10})
+}
+
+func lambdaSweep(base Config, label string, lambdas []float64) (*Sweep, error) {
+	sw := &Sweep{Label: label, Locality: base.Locality}
+	for _, lambda := range lambdas {
+		for _, s := range AllSchemes {
+			cfg := base
+			cfg.Lambda = lambda
+			cfg.Scheme = s
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("λ=%g scheme %v: %w", lambda, s, err)
+			}
+			sw.Points = append(sw.Points, sweepPoint(lambda, s, res))
+		}
+	}
+	return sw, nil
+}
+
+func sweepPoint(x float64, s Scheme, res *Result) SweepPoint {
+	mean, ci, err := stats.MeanCI(res.CompletionTimes, 0.95)
+	if err != nil {
+		mean = res.Summary.Mean
+		ci = stats.Interval{Lo: mean, Hi: mean}
+	}
+	return SweepPoint{X: x, Scheme: s, Mean: mean, MeanCI: ci, P95: res.Summary.P95}
+}
+
+// Figure7 reproduces Figure 7: the impact of core-to-rack oversubscription
+// (8:1, 16:1, 24:1) on Mayflower and Sinbad-R Mayflower at λ = 0.07 with
+// rack-heavy locality.
+func Figure7(base Config) (*Sweep, error) {
+	base.Locality = workload.LocalityRackHeavy
+	sw := &Sweep{Label: "fig7", Locality: base.Locality}
+	for _, over := range []float64{8, 16, 24} {
+		for _, s := range []Scheme{SchemeMayflower, SchemeSinbadRMayflower} {
+			cfg := base
+			cfg.Oversubscription = over
+			cfg.Scheme = s
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("oversub %g scheme %v: %w", over, s, err)
+			}
+			sw.Points = append(sw.Points, sweepPoint(over, s, res))
+		}
+	}
+	return sw, nil
+}
+
+// MultiReadResult is the §4.3 ablation: Mayflower with and without
+// parallel multi-replica reads.
+type MultiReadResult struct {
+	Single, Multi *Result
+	// MeanReductionPct is the relative improvement of the mean completion
+	// time from enabling multi-replica reads (positive = faster).
+	MeanReductionPct float64
+	// SkewSummary summarizes the finish-time difference between paired
+	// subflows (the paper reports < 1 s for 256 MB reads).
+	SkewSummary stats.Summary
+}
+
+// MultiRead runs the §4.3 multi-replica read experiment.
+func MultiRead(base Config) (*MultiReadResult, error) {
+	single := base
+	single.Scheme = SchemeMayflower
+	single.MultiReplica = false
+	rs, err := Run(single)
+	if err != nil {
+		return nil, err
+	}
+	multi := single
+	multi.MultiReplica = true
+	rm, err := Run(multi)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiReadResult{Single: rs, Multi: rm, SkewSummary: stats.Summarize(rm.SubflowSkews)}
+	if rs.Summary.Mean > 0 {
+		out.MeanReductionPct = 100 * (rs.Summary.Mean - rm.Summary.Mean) / rs.Summary.Mean
+	}
+	return out, nil
+}
+
+// AblationResult compares the full algorithm against one disabled
+// mechanism on the same workload.
+type AblationResult struct {
+	Name           string
+	Full, Ablated  *Result
+	MeanRatio      float64 // ablated mean / full mean (>1 = mechanism helps)
+	P95Ratio       float64
+	DisabledDetail string
+}
+
+// AblateCostTerm measures the contribution of Eq. 2's second term (the
+// completion-time increase of existing flows).
+func AblateCostTerm(base Config) (*AblationResult, error) {
+	return ablate(base, "impact-term", "cost reduced to d_j/b_j only", func(c *Config) {
+		c.DisableImpactTerm = true
+	})
+}
+
+// AblateFreeze measures the contribution of the update-freeze slack
+// (Pseudocode 2).
+func AblateFreeze(base Config) (*AblationResult, error) {
+	return ablate(base, "update-freeze", "stats polls overwrite fresh estimates", func(c *Config) {
+		c.DisableFreeze = true
+	})
+}
+
+func ablate(base Config, name, detail string, disable func(*Config)) (*AblationResult, error) {
+	full := base
+	full.Scheme = SchemeMayflower
+	rf, err := Run(full)
+	if err != nil {
+		return nil, err
+	}
+	ab := full
+	disable(&ab)
+	ra, err := Run(ab)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{
+		Name:           name,
+		Full:           rf,
+		Ablated:        ra,
+		MeanRatio:      safeRatio(ra.Summary.Mean, rf.Summary.Mean),
+		P95Ratio:       safeRatio(ra.Summary.P95, rf.Summary.P95),
+		DisabledDetail: detail,
+	}, nil
+}
+
+// BackgroundSweep measures robustness to non-filesystem cross traffic the
+// Flowserver cannot schedule (0 = the paper's pure-filesystem workload).
+// It probes §4.2's claim that periodically refreshing estimates from
+// switch counters keeps the model useful even when it is incomplete.
+func BackgroundSweep(base Config, loads []float64) (*Sweep, error) {
+	if len(loads) == 0 {
+		loads = []float64{0, 0.25, 0.5, 1}
+	}
+	sw := &Sweep{Label: "background-load", Locality: base.Locality}
+	for _, load := range loads {
+		for _, s := range []Scheme{SchemeMayflower, SchemeSinbadRMayflower, SchemeNearestECMP} {
+			cfg := base
+			cfg.Scheme = s
+			cfg.BackgroundLoad = load
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("background %g scheme %v: %w", load, s, err)
+			}
+			sw.Points = append(sw.Points, sweepPoint(load, s, res))
+		}
+	}
+	return sw, nil
+}
+
+// PollSweep measures Mayflower's sensitivity to the switch stats-polling
+// interval.
+func PollSweep(base Config, intervals []float64) (*Sweep, error) {
+	if len(intervals) == 0 {
+		intervals = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	sw := &Sweep{Label: "poll-interval", Locality: base.Locality}
+	for _, iv := range intervals {
+		cfg := base
+		cfg.Scheme = SchemeMayflower
+		cfg.StatsInterval = iv
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("interval %g: %w", iv, err)
+		}
+		sw.Points = append(sw.Points, sweepPoint(iv, SchemeMayflower, res))
+	}
+	return sw, nil
+}

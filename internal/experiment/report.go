@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteNormalizedTable renders a Figure 4/5-style table: one row per
+// scheme with the completion-time ratios relative to Mayflower.
+func WriteNormalizedTable(w io.Writer, tbl *NormalizedTable) error {
+	if _, err := fmt.Fprintf(w, "locality %v, λ=%g per server\n", tbl.Locality, tbl.Lambda); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-22s %10s %22s %10s %12s %12s\n",
+		"scheme", "avg ratio", "avg 95% CI", "p95 ratio", "mean (s)", "p95 (s)"); err != nil {
+		return err
+	}
+	for _, r := range tbl.Rows {
+		if _, err := fmt.Fprintf(w, "%-22s %9.2fx    [%6.2f, %6.2f]      %8.2fx %12.3f %12.3f\n",
+			r.Scheme, r.AvgRatio, r.AvgCI.Lo, r.AvgCI.Hi, r.P95Ratio,
+			r.Summary.Mean, r.Summary.P95); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweep renders a Figure 6/7-style series table: one row per
+// (x, scheme) point with mean, its confidence interval, and p95.
+func WriteSweep(w io.Writer, sw *Sweep, xLabel string) error {
+	if _, err := fmt.Fprintf(w, "%s (locality %v)\n", sw.Label, sw.Locality); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-22s %10s %22s %10s\n",
+		xLabel, "scheme", "mean (s)", "mean 95% CI", "p95 (s)"); err != nil {
+		return err
+	}
+	for _, p := range sw.Points {
+		if _, err := fmt.Fprintf(w, "%-8.3g %-22s %10.3f    [%6.3f, %6.3f]   %10.3f\n",
+			p.X, p.Scheme, p.Mean, p.MeanCI.Lo, p.MeanCI.Hi, p.P95); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNormalizedCSV emits a Figure 4/5-style table as CSV rows suitable
+// for plotting: scheme, avg ratio with its CI bounds, p95 ratio, and the
+// raw mean/p95 seconds.
+func WriteNormalizedCSV(w io.Writer, tbl *NormalizedTable) error {
+	cw := csv.NewWriter(w)
+	header := []string{"locality", "lambda", "scheme", "avg_ratio", "avg_ci_lo", "avg_ci_hi", "p95_ratio", "mean_s", "p95_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range tbl.Rows {
+		rec := []string{
+			tbl.Locality.String(),
+			formatFloat(tbl.Lambda),
+			r.Scheme.String(),
+			formatFloat(r.AvgRatio),
+			formatFloat(r.AvgCI.Lo),
+			formatFloat(r.AvgCI.Hi),
+			formatFloat(r.P95Ratio),
+			formatFloat(r.Summary.Mean),
+			formatFloat(r.Summary.P95),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV emits a Figure 6/7-style series as CSV rows.
+func WriteSweepCSV(w io.Writer, sw *Sweep, xLabel string) error {
+	cw := csv.NewWriter(w)
+	header := []string{xLabel, "scheme", "mean_s", "mean_ci_lo", "mean_ci_hi", "p95_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range sw.Points {
+		rec := []string{
+			formatFloat(p.X),
+			p.Scheme.String(),
+			formatFloat(p.Mean),
+			formatFloat(p.MeanCI.Lo),
+			formatFloat(p.MeanCI.Hi),
+			formatFloat(p.P95),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteMultiRead renders the §4.3 multi-replica read result.
+func WriteMultiRead(w io.Writer, r *MultiReadResult) error {
+	_, err := fmt.Fprintf(w,
+		"multi-replica reads (λ=%g, locality %v)\n"+
+			"  single-replica mean %.3f s, p95 %.3f s\n"+
+			"  multi-replica  mean %.3f s, p95 %.3f s\n"+
+			"  mean reduction %.1f%%; %d/%d jobs split\n"+
+			"  subflow finish skew: mean %.3f s, p95 %.3f s, max %.3f s (n=%d)\n",
+		r.Single.Config.Lambda, r.Single.Config.Locality,
+		r.Single.Summary.Mean, r.Single.Summary.P95,
+		r.Multi.Summary.Mean, r.Multi.Summary.P95,
+		r.MeanReductionPct, r.Multi.SplitJobs, r.Multi.Summary.N,
+		r.SkewSummary.Mean, r.SkewSummary.P95, r.SkewSummary.Max, r.SkewSummary.N)
+	return err
+}
+
+// WriteAblation renders one ablation comparison.
+func WriteAblation(w io.Writer, r *AblationResult) error {
+	_, err := fmt.Fprintf(w,
+		"ablation %s (%s)\n"+
+			"  full    mean %.3f s, p95 %.3f s\n"+
+			"  ablated mean %.3f s, p95 %.3f s\n"+
+			"  ablated/full: mean %.2fx, p95 %.2fx\n",
+		r.Name, r.DisabledDetail,
+		r.Full.Summary.Mean, r.Full.Summary.P95,
+		r.Ablated.Summary.Mean, r.Ablated.Summary.P95,
+		r.MeanRatio, r.P95Ratio)
+	return err
+}

@@ -1,0 +1,98 @@
+package flowserver
+
+import (
+	"fmt"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// ForceFlow registers a background flow with a fixed bandwidth estimate
+// and remaining size, bypassing selection. Tests use it to reconstruct the
+// paper's worked examples exactly.
+func (s *Server) ForceFlow(links []topology.LinkID, remaining, bw float64) FlowID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	ls := make([]int, len(links))
+	for i, l := range links {
+		ls[i] = int(l)
+	}
+	s.flows[id] = &flowState{
+		id:        id,
+		links:     ls,
+		totalBits: remaining,
+		remaining: remaining,
+		bw:        bw,
+		lastPoll:  s.now(),
+	}
+	for _, l := range ls {
+		set := s.linkFlows[l]
+		if set == nil {
+			set = make(map[FlowID]struct{})
+			s.linkFlows[l] = set
+		}
+		set[id] = struct{}{}
+	}
+	return id
+}
+
+// FlowFrozen reports the freeze state of a flow, for tests.
+func (s *Server) FlowFrozen(id FlowID) (frozen bool, until float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flows[id]
+	if !ok {
+		return false, 0
+	}
+	return f.frozen, f.freezeUntil
+}
+
+// FlowRemainingEstimate returns the server's view of a flow's remaining
+// bits, for tests.
+func (s *Server) FlowRemainingEstimate(id FlowID) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flows[id]
+	if !ok {
+		return 0, false
+	}
+	return f.remaining, true
+}
+
+// CheckInvariants verifies the internal model's consistency: every link
+// index maps only to live flows, every live flow appears on each of its
+// links, and no estimate is negative. Tests call it after random op
+// sequences.
+func (s *Server) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for link, set := range s.linkFlows {
+		for id := range set {
+			f, ok := s.flows[id]
+			if !ok {
+				return fmt.Errorf("link %d references dead flow %d", link, id)
+			}
+			found := false
+			for _, l := range f.links {
+				if l == link {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("flow %d indexed on link %d it does not traverse", id, link)
+			}
+		}
+	}
+	for id, f := range s.flows {
+		if f.bw < 0 || f.remaining < 0 || f.totalBits < 0 {
+			return fmt.Errorf("flow %d has negative state: bw=%g rem=%g total=%g", id, f.bw, f.remaining, f.totalBits)
+		}
+		for _, l := range f.links {
+			if _, ok := s.linkFlows[l][id]; !ok {
+				return fmt.Errorf("flow %d missing from link %d index", id, l)
+			}
+		}
+	}
+	return nil
+}

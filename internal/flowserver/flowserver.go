@@ -1,0 +1,579 @@
+// Package flowserver implements Mayflower's core contribution: joint
+// replica and network-path selection inside the SDN control plane (§4 of
+// the paper).
+//
+// The Flowserver keeps a model of every filesystem read flow it has
+// scheduled: the path it was assigned, its most recent bandwidth-share
+// estimate, and its remaining bytes. When a client asks where to read a
+// file from, the Flowserver evaluates every shortest path from every
+// replica to the client and picks the one minimizing Eq. 2:
+//
+//	Cost(p) = d_j/b_j + Σ_{f ∈ F_p} ( r_f/b'_f − r_f/b_f )
+//
+// the sum of the new flow's expected completion time and the increase in
+// completion time the new flow inflicts on flows already on the path.
+// Bandwidth shares are estimated by per-link max-min water-filling where
+// existing flows demand their current share and the new flow demands
+// infinity (§4.2).
+//
+// Estimates committed at selection time are protected from being clobbered
+// by the next (stale) switch-counter poll with the paper's update-freeze
+// mechanism (Pseudocode 2), and reads can be split across two replicas
+// when the combined share beats the single best replica (§4.3).
+package flowserver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/maxmin"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// FlowID identifies a flow registered with the Flowserver.
+type FlowID int64
+
+// ErrNoReplicas is returned when a request carries no replica locations.
+var ErrNoReplicas = errors.New("flowserver: request has no replicas")
+
+// Options tune the selection algorithm; the zero value is the full paper
+// algorithm with multi-replica reads disabled (they are an explicit
+// optimization, enabled by MultiReplica).
+type Options struct {
+	// MultiReplica enables splitting a read across two replicas when the
+	// combined estimated bandwidth beats the best single replica (§4.3).
+	MultiReplica bool
+	// DisableImpactTerm drops the second term of Eq. 2 (the increase in
+	// completion time of existing flows), reducing the cost to the new
+	// flow's own completion time. Ablation only.
+	DisableImpactTerm bool
+	// DisableFreeze disables the update-freeze slack (Pseudocode 2),
+	// letting every stats poll overwrite bandwidth estimates. Ablation
+	// only.
+	DisableFreeze bool
+	// Now supplies the current time in seconds; defaults to a clock that
+	// only advances via stats polls (simulation callers inject the
+	// simulator clock).
+	Now func() float64
+}
+
+// Request asks for a read assignment.
+type Request struct {
+	// Client is the host that will read the data.
+	Client topology.NodeID
+	// Replicas are the hosts holding a copy of the file.
+	Replicas []topology.NodeID
+	// Bits is the amount of data to read.
+	Bits float64
+}
+
+// Assignment is one flow of a read: fetch Bits bits of the file from
+// Replica over Path. A read split across two replicas yields two
+// assignments. A replica co-located with the client yields a single
+// assignment with an empty path and infinite bandwidth (a local read).
+type Assignment struct {
+	FlowID      FlowID
+	Replica     topology.NodeID
+	Path        topology.Path
+	Bits        float64
+	EstimatedBw float64
+}
+
+// Local reports whether the assignment is a local (zero network cost) read.
+func (a Assignment) Local() bool { return len(a.Path) == 0 }
+
+type flowState struct {
+	id          FlowID
+	links       []int
+	totalBits   float64
+	remaining   float64
+	bw          float64
+	frozen      bool
+	freezeUntil float64
+	transferred float64
+	lastPoll    float64
+}
+
+// Server is the Flowserver: it runs inside the SDN controller and owns the
+// global flow model. All methods are safe for concurrent use.
+type Server struct {
+	topo     *topology.Topology
+	capacity []float64
+	opts     Options
+
+	mu        sync.Mutex
+	clock     float64 // last known time when opts.Now is nil
+	nextID    FlowID
+	flows     map[FlowID]*flowState
+	linkFlows map[int]map[FlowID]struct{}
+}
+
+// New creates a Flowserver over the given topology.
+func New(topo *topology.Topology, opts Options) *Server {
+	capacity := make([]float64, topo.NumLinks())
+	for _, l := range topo.Links() {
+		capacity[l.ID] = l.Capacity
+	}
+	return &Server{
+		topo:      topo,
+		capacity:  capacity,
+		opts:      opts,
+		flows:     make(map[FlowID]*flowState),
+		linkFlows: make(map[int]map[FlowID]struct{}),
+	}
+}
+
+func (s *Server) now() float64 {
+	if s.opts.Now != nil {
+		return s.opts.Now()
+	}
+	return s.clock
+}
+
+// NumFlows returns the number of flows currently registered.
+func (s *Server) NumFlows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flows)
+}
+
+// SelectReplicaAndPath runs the replica–path selection algorithm
+// (Pseudocode 1) and registers the resulting flow(s) in the model. The
+// caller must report flow completion with FlowFinished and should feed
+// switch counters via UpdateFlowStats.
+func (s *Server) SelectReplicaAndPath(req Request) ([]Assignment, error) {
+	if len(req.Replicas) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if req.Bits < 0 {
+		return nil, fmt.Errorf("flowserver: negative read size %g", req.Bits)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.selectLocked(req, s.opts.MultiReplica)
+}
+
+// selectLocked runs selection with an explicit multi-replica setting.
+// Caller must hold s.mu.
+func (s *Server) selectLocked(req Request, allowMulti bool) ([]Assignment, error) {
+	// A co-located replica costs nothing; every policy prefers it.
+	for _, r := range req.Replicas {
+		if r == req.Client {
+			s.nextID++
+			return []Assignment{{
+				FlowID:      s.nextID,
+				Replica:     r,
+				Bits:        req.Bits,
+				EstimatedBw: math.Inf(1),
+			}}, nil
+		}
+	}
+
+	best, ok := s.bestPath(req.Client, req.Replicas, req.Bits, nil)
+	if !ok {
+		return nil, fmt.Errorf("flowserver: no path from any replica to client %d", req.Client)
+	}
+
+	if !allowMulti || len(req.Replicas) < 2 {
+		a := s.commit(best, req.Bits)
+		return []Assignment{a}, nil
+	}
+	return s.selectMulti(req, best), nil
+}
+
+// SelectPath is the path-only scheduler: the replica is already chosen and
+// only the network path is optimized (used by the Nearest-Mayflower and
+// Sinbad-R-Mayflower baselines, §6.2). It registers the flow like
+// SelectReplicaAndPath.
+func (s *Server) SelectPath(client, replica topology.NodeID, bits float64) (Assignment, error) {
+	if bits < 0 {
+		return Assignment{}, fmt.Errorf("flowserver: negative read size %g", bits)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	as, err := s.selectLocked(Request{Client: client, Replicas: []topology.NodeID{replica}, Bits: bits}, false)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return as[0], nil
+}
+
+// candidate is a scored replica-path option.
+type candidate struct {
+	replica topology.NodeID
+	path    topology.Path
+	links   []int
+	bw      float64
+	cost    float64
+	// newShares holds the post-admission share of each existing flow
+	// whose estimate changes if this path is chosen.
+	newShares map[FlowID]float64
+}
+
+// bestPath evaluates all shortest paths from the replicas to the client
+// and returns the minimum-cost candidate. exclude removes replicas from
+// consideration (used when picking the second subflow).
+// Caller must hold s.mu.
+func (s *Server) bestPath(client topology.NodeID, replicas []topology.NodeID, bits float64, exclude map[topology.NodeID]bool) (candidate, bool) {
+	var best candidate
+	found := false
+	for _, rep := range replicas {
+		if exclude[rep] || rep == client {
+			continue
+		}
+		for _, path := range s.topo.ShortestPaths(rep, client) {
+			c := s.evalPath(rep, path, bits)
+			if !found || c.cost < best.cost {
+				best = c
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// evalPath computes the Eq. 2 cost of placing a new flow of the given size
+// on the path (Pseudocode 2, FLOWCOST). Caller must hold s.mu.
+func (s *Server) evalPath(replica topology.NodeID, path topology.Path, bits float64) candidate {
+	links := make([]int, len(path))
+	for i, l := range path {
+		links[i] = int(l)
+	}
+
+	// Estimated share of the new flow: water-fill each link with existing
+	// flows demanding their current share and the new flow demanding
+	// infinity; the path share is the bottleneck minimum (MAXMINSHARE).
+	bw := math.Inf(1)
+	for _, l := range links {
+		share := maxmin.ShareOnLink(s.capacity[l], s.demandsOn(l))
+		if share < bw {
+			bw = share
+		}
+	}
+
+	cost := 0.0
+	if bw > 0 {
+		cost = bits / bw
+	} else {
+		cost = math.Inf(1)
+	}
+
+	// Impact on existing flows: re-water-fill each path link with the new
+	// flow's demand pinned to bw; a flow crossing several path links gets
+	// the most pessimistic (minimum) of its per-link shares.
+	newShares := make(map[FlowID]float64)
+	for _, l := range links {
+		ids, demands := s.flowsOn(l)
+		if len(ids) == 0 {
+			continue
+		}
+		shares, _ := maxmin.SharesWithNewFlow(s.capacity[l], demands, bw)
+		for i, id := range ids {
+			if prev, ok := newShares[id]; !ok || shares[i] < prev {
+				newShares[id] = shares[i]
+			}
+		}
+	}
+	// Deterministic id order: float summation is not associative, so a
+	// map-order walk would make equal-cost comparisons (and therefore
+	// selections) run-dependent.
+	changed := make([]FlowID, 0, len(newShares))
+	for id := range newShares {
+		changed = append(changed, id)
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
+	for _, id := range changed {
+		nbw := newShares[id]
+		f := s.flows[id]
+		if nbw >= f.bw-bwEps || f.remaining <= 0 {
+			delete(newShares, id) // unchanged flows contribute no cost
+			continue
+		}
+		if !s.opts.DisableImpactTerm {
+			if nbw <= 0 {
+				cost = math.Inf(1)
+			} else {
+				cost += f.remaining/nbw - f.remaining/f.bw
+			}
+		}
+	}
+	return candidate{replica: replica, path: path, links: links, bw: bw, cost: cost, newShares: newShares}
+}
+
+const bwEps = 1e-9
+
+// demandsOn returns the current bandwidth-share demands of flows assigned
+// to a link, in flow-id order (the water-filling arithmetic is float and
+// therefore order-sensitive at the last bit). Caller must hold s.mu.
+func (s *Server) demandsOn(link int) []float64 {
+	_, demands := s.flowsOn(link)
+	return demands
+}
+
+// flowsOn returns the ids and demands of flows on a link in matching
+// order, sorted by id for determinism. Caller must hold s.mu.
+func (s *Server) flowsOn(link int) ([]FlowID, []float64) {
+	set := s.linkFlows[link]
+	if len(set) == 0 {
+		return nil, nil
+	}
+	ids := make([]FlowID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	demands := make([]float64, len(ids))
+	for i, id := range ids {
+		demands[i] = s.flows[id].bw
+	}
+	return ids, demands
+}
+
+// commit registers the winning candidate as a live flow and applies SETBW
+// to it and to every existing flow whose estimate changed (Pseudocode 1,
+// lines 9-11). Caller must hold s.mu.
+func (s *Server) commit(c candidate, bits float64) Assignment {
+	s.nextID++
+	id := s.nextID
+	f := &flowState{
+		id:        id,
+		links:     c.links,
+		totalBits: bits,
+		remaining: bits,
+		lastPoll:  s.now(),
+	}
+	s.flows[id] = f
+	for _, l := range c.links {
+		set := s.linkFlows[l]
+		if set == nil {
+			set = make(map[FlowID]struct{})
+			s.linkFlows[l] = set
+		}
+		set[id] = struct{}{}
+	}
+	s.setBW(f, c.bw)
+	for fid, nbw := range c.newShares {
+		s.setBW(s.flows[fid], nbw)
+	}
+	return Assignment{FlowID: id, Replica: c.replica, Path: c.path, Bits: bits, EstimatedBw: c.bw}
+}
+
+// setBW implements SETBW from Pseudocode 2: record the estimate and freeze
+// it for the flow's expected completion time.
+func (s *Server) setBW(f *flowState, bw float64) {
+	f.bw = bw
+	if s.opts.DisableFreeze {
+		return
+	}
+	if bw > 0 && !math.IsInf(bw, 1) {
+		f.freezeUntil = s.now() + f.remaining/bw
+	} else {
+		f.freezeUntil = s.now()
+	}
+	f.frozen = true
+}
+
+// selectMulti implements the §4.3 multi-replica split: commit the best
+// single candidate, try a second subflow from a different replica, and
+// keep the pair only if the combined share beats the single flow.
+// Caller must hold s.mu.
+func (s *Server) selectMulti(req Request, best candidate) []Assignment {
+	snap := s.snapshot()
+
+	b1 := best.bw
+	a1 := s.commit(best, req.Bits)
+
+	second, ok := s.bestPath(req.Client, req.Replicas, req.Bits,
+		map[topology.NodeID]bool{best.replica: true})
+	if !ok {
+		return []Assignment{a1}
+	}
+	a2 := s.commit(second, req.Bits)
+
+	// The second subflow may have squeezed the first one.
+	b1p := s.flows[a1.FlowID].bw
+	b2 := second.bw
+	combined := b1p + b2
+	if combined <= b1+bwEps {
+		// Roll back everything the tentative pair touched.
+		s.restore(snap)
+		a1 = s.commit(best, req.Bits)
+		return []Assignment{a1}
+	}
+
+	// Split sizes proportionally to bandwidth so subflows finish together.
+	s1 := req.Bits * b1p / combined
+	s2 := req.Bits - s1
+	s.resize(a1.FlowID, s1)
+	s.resize(a2.FlowID, s2)
+	a1.Bits, a1.EstimatedBw = s1, b1p
+	a2.Bits = s2
+	return []Assignment{a1, a2}
+}
+
+// resize adjusts a freshly committed flow's size and refreshes its freeze
+// horizon. Caller must hold s.mu.
+func (s *Server) resize(id FlowID, bits float64) {
+	f := s.flows[id]
+	f.totalBits = bits
+	f.remaining = bits
+	s.setBW(f, f.bw)
+}
+
+// snapshot captures the full flow model for rollback. Caller must hold s.mu.
+func (s *Server) snapshot() map[FlowID]flowState {
+	snap := make(map[FlowID]flowState, len(s.flows))
+	for id, f := range s.flows {
+		snap[id] = *f
+	}
+	return snap
+}
+
+// restore rolls the flow model back to a snapshot, dropping flows created
+// after it was taken. Caller must hold s.mu.
+func (s *Server) restore(snap map[FlowID]flowState) {
+	for id, f := range s.flows {
+		if _, ok := snap[id]; !ok {
+			for _, l := range f.links {
+				delete(s.linkFlows[l], id)
+			}
+			delete(s.flows, id)
+		}
+	}
+	for id, saved := range snap {
+		f := s.flows[id]
+		state := saved
+		*f = state
+	}
+}
+
+// EstimateIngressShare estimates the max-min bandwidth share a new flow
+// *into* the given host would receive across the edge tier: the bottleneck
+// of the host's downlink and the best aggregation-to-edge link feeding its
+// rack, given the flows currently modeled on them. This is the signal for
+// Sinbad-like collaborative write placement — the paper notes (§3.3) that
+// the nameserver can make placement decisions "collaboratively with the
+// Flowserver", and this method is the Flowserver's half of that contract.
+func (s *Server) EstimateIngressShare(host topology.NodeID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	down := int(s.topo.DownlinkOf(host))
+	share := maxmin.ShareOnLink(s.capacity[down], s.demandsOn(down))
+
+	edge := s.topo.EdgeOf(host)
+	best := -1.0
+	for _, agg := range s.topo.AggSwitches() {
+		id, ok := s.topo.LinkBetween(agg, edge)
+		if !ok {
+			continue
+		}
+		if v := maxmin.ShareOnLink(s.capacity[id], s.demandsOn(int(id))); v > best {
+			best = v
+		}
+	}
+	if best >= 0 && best < share {
+		share = best
+	}
+	return share
+}
+
+// SetLinkCapacity overrides the modeled capacity of one directed link.
+// The paper's cost example (§4.2) notes that heterogeneous link capacities
+// change path choice; this supports fabrics whose links differ from the
+// topology's nominal capacities.
+func (s *Server) SetLinkCapacity(id topology.LinkID, bps float64) error {
+	if bps <= 0 {
+		return fmt.Errorf("flowserver: capacity must be > 0, got %g", bps)
+	}
+	if int(id) < 0 || int(id) >= len(s.capacity) {
+		return fmt.Errorf("flowserver: unknown link %d", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity[id] = bps
+	return nil
+}
+
+// FlowFinished removes a completed (or aborted) flow from the model.
+// Unknown ids are ignored, mirroring a switch evicting an expired entry.
+func (s *Server) FlowFinished(id FlowID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flows[id]
+	if !ok {
+		return
+	}
+	for _, l := range f.links {
+		delete(s.linkFlows[l], id)
+	}
+	delete(s.flows, id)
+}
+
+// FlowStat is one flow's byte counter as read from an edge switch.
+type FlowStat struct {
+	ID FlowID
+	// TransferredBits is the cumulative counter value.
+	TransferredBits float64
+}
+
+// UpdateFlowStats ingests a stats-poll cycle taken at time now: for each
+// flow, the measured bandwidth since the previous poll and the remaining
+// size are derived from the byte counter. Bandwidth estimates honour the
+// update-freeze state (Pseudocode 2, UPDATEBW); remaining sizes always
+// update, since counters are ground truth for progress.
+func (s *Server) UpdateFlowStats(now float64, stats []FlowStat) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Now == nil && now > s.clock {
+		s.clock = now
+	}
+	for _, st := range stats {
+		f, ok := s.flows[st.ID]
+		if !ok {
+			continue
+		}
+		f.remaining = f.totalBits - st.TransferredBits
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		dt := now - f.lastPoll
+		if dt <= 0 {
+			continue
+		}
+		measured := (st.TransferredBits - f.transferred) / dt
+		f.transferred = st.TransferredBits
+		f.lastPoll = now
+		if measured < 0 {
+			continue
+		}
+		if s.opts.DisableFreeze || !f.frozen || now > f.freezeUntil {
+			f.bw = measured
+			f.frozen = false
+		}
+	}
+}
+
+// EstimatedBW returns the Flowserver's current bandwidth estimate for a
+// flow (for inspection and tests); ok is false for unknown flows.
+func (s *Server) EstimatedBW(id FlowID) (bw float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flows[id]
+	if !ok {
+		return 0, false
+	}
+	return f.bw, true
+}
+
+// PathCost exposes the Eq. 2 cost of one candidate path given the current
+// flow model, without registering anything. It is the FLOWCOST procedure
+// and exists for tests, tooling and what-if analysis.
+func (s *Server) PathCost(replica topology.NodeID, path topology.Path, bits float64) (cost, estimatedBw float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.evalPath(replica, path, bits)
+	return c.cost, c.bw
+}

@@ -1,0 +1,154 @@
+package flowserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// RPC method names served by the Flowserver. Per §5 of the paper, the
+// replica-path function is exposed as an RPC service that is not tied to
+// Mayflower: any distributed application can pass candidate sources and a
+// transfer size and get back the chosen sources with per-source sizes.
+const (
+	MethodSelect   = "fs.Select"
+	MethodFinished = "fs.Finished"
+)
+
+// SelectArgs asks for a read assignment. Hosts are topology host names
+// (the prototype's stand-in for the IP addresses the paper's RPC takes).
+type SelectArgs struct {
+	ClientHost   string   `json:"clientHost"`
+	ReplicaHosts []string `json:"replicaHosts"`
+	Bits         float64  `json:"bits"`
+}
+
+// AssignmentDTO is the wire form of one Assignment.
+type AssignmentDTO struct {
+	FlowID      FlowID  `json:"flowId"`
+	ReplicaHost string  `json:"replicaHost"`
+	Bits        float64 `json:"bits"`
+	EstimatedBw float64 `json:"estimatedBw,omitempty"`
+	Local       bool    `json:"local,omitempty"`
+	PathLen     int     `json:"pathLen"`
+}
+
+// FinishedArgs reports a completed flow.
+type FinishedArgs struct {
+	FlowID FlowID `json:"flowId"`
+}
+
+// Hooks let the embedding controller react to assignments: the prototype
+// installs OpenFlow rules for the selected path on assignment and removes
+// them when the client reports completion.
+type Hooks struct {
+	// OnAssign runs after a non-local assignment is made.
+	OnAssign func(a Assignment)
+	// OnFinish runs when a flow is reported finished.
+	OnFinish func(id FlowID)
+}
+
+// RegisterRPC exposes a Flowserver on a wire server, resolving host names
+// against the topology.
+func RegisterRPC(srv *wire.Server, fs *Server, topo *topology.Topology, hooks Hooks) error {
+	hostByName := make(map[string]topology.NodeID, topo.NumHosts())
+	nameByHost := make(map[topology.NodeID]string, topo.NumHosts())
+	for _, h := range topo.Hosts() {
+		n := topo.Node(h)
+		hostByName[n.Name] = h
+		nameByHost[h] = n.Name
+	}
+
+	selectHandler := func(_ context.Context, params json.RawMessage) (any, error) {
+		var a SelectArgs
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+		client, ok := hostByName[a.ClientHost]
+		if !ok {
+			return nil, fmt.Errorf("flowserver: unknown client host %q", a.ClientHost)
+		}
+		replicas := make([]topology.NodeID, 0, len(a.ReplicaHosts))
+		for _, name := range a.ReplicaHosts {
+			h, ok := hostByName[name]
+			if !ok {
+				return nil, fmt.Errorf("flowserver: unknown replica host %q", name)
+			}
+			replicas = append(replicas, h)
+		}
+		as, err := fs.SelectReplicaAndPath(Request{Client: client, Replicas: replicas, Bits: a.Bits})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]AssignmentDTO, 0, len(as))
+		for _, asg := range as {
+			if !asg.Local() && hooks.OnAssign != nil {
+				hooks.OnAssign(asg)
+			}
+			out = append(out, AssignmentDTO{
+				FlowID:      asg.FlowID,
+				ReplicaHost: nameByHost[asg.Replica],
+				Bits:        asg.Bits,
+				EstimatedBw: asg.EstimatedBw,
+				Local:       asg.Local(),
+				PathLen:     len(asg.Path),
+			})
+		}
+		return out, nil
+	}
+
+	finishedHandler := func(_ context.Context, params json.RawMessage) (any, error) {
+		var a FinishedArgs
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+		fs.FlowFinished(a.FlowID)
+		if hooks.OnFinish != nil {
+			hooks.OnFinish(a.FlowID)
+		}
+		return struct{}{}, nil
+	}
+
+	if err := srv.Register(MethodSelect, selectHandler); err != nil {
+		return err
+	}
+	return srv.Register(MethodFinished, finishedHandler)
+}
+
+// RPCClient is a typed Flowserver RPC client.
+type RPCClient struct {
+	c *wire.Client
+}
+
+// NewRPCClient wraps an established wire client.
+func NewRPCClient(c *wire.Client) *RPCClient { return &RPCClient{c: c} }
+
+// DialRPC connects to a Flowserver at addr.
+func DialRPC(addr string) (*RPCClient, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("flowserver: dial: %w", err)
+	}
+	return NewRPCClient(c), nil
+}
+
+// Close tears down the connection.
+func (c *RPCClient) Close() error { return c.c.Close() }
+
+// Select asks the Flowserver for a read assignment.
+func (c *RPCClient) Select(ctx context.Context, args SelectArgs) ([]AssignmentDTO, error) {
+	var out []AssignmentDTO
+	if err := c.c.Call(ctx, MethodSelect, args, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Finished reports a completed flow.
+func (c *RPCClient) Finished(ctx context.Context, id FlowID) error {
+	var out struct{}
+	return c.c.Call(ctx, MethodFinished, FinishedArgs{FlowID: id}, &out)
+}

@@ -1,0 +1,287 @@
+package maxmin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-6
+
+func near(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestAllocateSingleLinkEqualSplit(t *testing.T) {
+	rates := Allocate([]float64{10}, []Flow{
+		{Links: []int{0}, Demand: math.Inf(1)},
+		{Links: []int{0}, Demand: math.Inf(1)},
+	})
+	for i, r := range rates {
+		if !near(r, 5) {
+			t.Errorf("rates[%d] = %g, want 5", i, r)
+		}
+	}
+}
+
+func TestAllocateDemandCapped(t *testing.T) {
+	rates := Allocate([]float64{10}, []Flow{
+		{Links: []int{0}, Demand: 2},
+		{Links: []int{0}, Demand: math.Inf(1)},
+	})
+	if !near(rates[0], 2) || !near(rates[1], 8) {
+		t.Errorf("rates = %v, want [2 8]", rates)
+	}
+}
+
+func TestAllocateMultiLinkBottleneck(t *testing.T) {
+	// Flow 0 crosses both links; flow 1 only link 1. Link 0 is the
+	// bottleneck for flow 0 (cap 4), so flow 1 picks up the slack on
+	// link 1 (cap 10).
+	rates := Allocate([]float64{4, 10}, []Flow{
+		{Links: []int{0, 1}, Demand: math.Inf(1)},
+		{Links: []int{1}, Demand: math.Inf(1)},
+	})
+	if !near(rates[0], 4) || !near(rates[1], 6) {
+		t.Errorf("rates = %v, want [4 6]", rates)
+	}
+}
+
+func TestAllocateZeroAndEmpty(t *testing.T) {
+	if got := Allocate(nil, nil); len(got) != 0 {
+		t.Errorf("Allocate(nil, nil) = %v", got)
+	}
+	rates := Allocate([]float64{10}, []Flow{
+		{Links: []int{0}, Demand: 0},
+		{Links: []int{0}, Demand: math.Inf(1)},
+	})
+	if !near(rates[0], 0) || !near(rates[1], 10) {
+		t.Errorf("rates = %v, want [0 10]", rates)
+	}
+}
+
+func TestAllocateNoLinksFlow(t *testing.T) {
+	rates := Allocate([]float64{1}, []Flow{
+		{Demand: 7},
+		{Links: []int{0}, Demand: math.Inf(1)},
+	})
+	if !near(rates[0], 7) || !near(rates[1], 1) {
+		t.Errorf("rates = %v, want [7 1]", rates)
+	}
+	// Unbounded demand with no links is unbounded rate.
+	rates = Allocate(nil, []Flow{{Demand: math.Inf(1)}})
+	if !math.IsInf(rates[0], 1) {
+		t.Errorf("rates[0] = %g, want +Inf", rates[0])
+	}
+}
+
+func TestAllocateFigure2FirstPathGroundTruth(t *testing.T) {
+	// Figure 2(b): second link of the first path carries flows with
+	// current shares 2, 2, 6 (10 Mbps links). Max-min with the new flow:
+	// the 2s keep 2, the 6 drops to 3, the new flow gets 3.
+	newShares, newFlow := SharesWithNewFlow(10, []float64{2, 2, 6}, math.Inf(1))
+	want := []float64{2, 2, 3}
+	for i := range want {
+		if !near(newShares[i], want[i]) {
+			t.Errorf("newShares[%d] = %g, want %g", i, newShares[i], want[i])
+		}
+	}
+	if !near(newFlow, 3) {
+		t.Errorf("newFlow = %g, want 3", newFlow)
+	}
+
+	// Third link: one existing flow at 10. The new flow would get 5.
+	if got := ShareOnLink(10, []float64{10}); !near(got, 5) {
+		t.Errorf("ShareOnLink = %g, want 5", got)
+	}
+	// With the new flow's demand pinned to the path bottleneck (3), the
+	// existing flow keeps 7 (paper: "the 10Mbps-flow ... reduced to 7").
+	newShares, newFlow = SharesWithNewFlow(10, []float64{10}, 3)
+	if !near(newShares[0], 7) || !near(newFlow, 3) {
+		t.Errorf("SharesWithNewFlow(10, [10], 3) = %v, %g; want [7], 3", newShares, newFlow)
+	}
+}
+
+func TestAllocateFigure2SecondPathGroundTruth(t *testing.T) {
+	// Second path, second link: shares 2, 2, 4. New flow gets 3; the
+	// 4-share flow drops to 3.
+	newShares, newFlow := SharesWithNewFlow(10, []float64{2, 2, 4}, math.Inf(1))
+	want := []float64{2, 2, 3}
+	for i := range want {
+		if !near(newShares[i], want[i]) {
+			t.Errorf("newShares[%d] = %g, want %g", i, newShares[i], want[i])
+		}
+	}
+	if !near(newFlow, 3) {
+		t.Errorf("newFlow = %g, want 3", newFlow)
+	}
+	// Third link: one flow at 8; with new demand 3 it drops to 7.
+	newShares, _ = SharesWithNewFlow(10, []float64{8}, 3)
+	if !near(newShares[0], 7) {
+		t.Errorf("newShares[0] = %g, want 7", newShares[0])
+	}
+}
+
+func TestShareOnLinkUndersubscribed(t *testing.T) {
+	// 20 Mbps variant from §4.2: demands 2+2+6 leave 10 for the new flow.
+	if got := ShareOnLink(20, []float64{2, 2, 6}); !near(got, 10) {
+		t.Errorf("ShareOnLink(20, ...) = %g, want 10", got)
+	}
+	// And existing flows are not squeezed by a demand-3 arrival.
+	newShares, _ := SharesWithNewFlow(20, []float64{2, 2, 6}, 5)
+	for i, want := range []float64{2, 2, 6} {
+		if !near(newShares[i], want) {
+			t.Errorf("newShares[%d] = %g, want %g", i, newShares[i], want)
+		}
+	}
+}
+
+func TestShareOnLinkEmpty(t *testing.T) {
+	if got := ShareOnLink(10, nil); !near(got, 10) {
+		t.Errorf("ShareOnLink(10, nil) = %g, want 10", got)
+	}
+}
+
+// randomScenario builds a random allocation problem from a seed.
+func randomScenario(seed int64) ([]float64, []Flow) {
+	r := rand.New(rand.NewSource(seed))
+	nLinks := 1 + r.Intn(8)
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		caps[i] = 1 + r.Float64()*99
+	}
+	nFlows := 1 + r.Intn(12)
+	flows := make([]Flow, nFlows)
+	for i := range flows {
+		nl := 1 + r.Intn(3)
+		if nl > nLinks {
+			nl = nLinks
+		}
+		seen := make(map[int]bool)
+		var links []int
+		for len(links) < nl {
+			l := r.Intn(nLinks)
+			if !seen[l] {
+				seen[l] = true
+				links = append(links, l)
+			}
+		}
+		d := math.Inf(1)
+		if r.Intn(2) == 0 {
+			d = r.Float64() * 50
+		}
+		flows[i] = Flow{Links: links, Demand: d}
+	}
+	return caps, flows
+}
+
+// TestAllocateInvariants property-checks that the allocation never exceeds
+// demand or link capacity, and that it satisfies the max-min optimality
+// condition: every demand-unsatisfied flow has a saturated link on which it
+// holds (one of) the largest rates.
+func TestAllocateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		caps, flows := randomScenario(seed)
+		rates := Allocate(caps, flows)
+
+		load := make([]float64, len(caps))
+		for i, fl := range flows {
+			if rates[i] < -tol || rates[i] > fl.Demand+tol {
+				t.Logf("seed %d: rate %g out of [0, %g]", seed, rates[i], fl.Demand)
+				return false
+			}
+			for _, l := range fl.Links {
+				load[l] += rates[i]
+			}
+		}
+		for l := range caps {
+			if load[l] > caps[l]*(1+tol)+tol {
+				t.Logf("seed %d: link %d load %g > cap %g", seed, l, load[l], caps[l])
+				return false
+			}
+		}
+		// Max-min optimality.
+		for i, fl := range flows {
+			if rates[i] >= fl.Demand-tol {
+				continue // demand-limited flows need no bottleneck
+			}
+			ok := false
+			for _, l := range fl.Links {
+				if load[l] < caps[l]*(1-1e-4) {
+					continue // not saturated
+				}
+				isMax := true
+				for j, fj := range flows {
+					if j == i {
+						continue
+					}
+					for _, lj := range fj.Links {
+						if lj == l && rates[j] > rates[i]+1e-4*(1+rates[i]) {
+							isMax = false
+						}
+					}
+				}
+				if isMax {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Logf("seed %d: flow %d (rate %g) has no bottleneck link", seed, i, rates[i])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharesWithNewFlowConservation checks the single-link estimator never
+// exceeds the capacity and never raises an existing flow above its demand.
+func TestSharesWithNewFlowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capBps := 1 + r.Float64()*999
+		existing := make([]float64, r.Intn(10))
+		for i := range existing {
+			existing[i] = r.Float64() * capBps
+		}
+		newDemand := math.Inf(1)
+		if r.Intn(2) == 0 {
+			newDemand = r.Float64() * capBps
+		}
+		shares, nf := SharesWithNewFlow(capBps, existing, newDemand)
+		total := nf
+		for i, s := range shares {
+			if s > existing[i]+tol {
+				return false // estimator must never raise an existing share
+			}
+			total += s
+		}
+		return total <= capBps*(1+tol)+tol && nf >= -tol
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocate64Hosts(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	nLinks := 224 // paper testbed directed link count
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		caps[i] = 1e9
+	}
+	flows := make([]Flow, 200)
+	for i := range flows {
+		links := []int{r.Intn(nLinks), r.Intn(nLinks), r.Intn(nLinks)}
+		flows[i] = Flow{Links: links, Demand: math.Inf(1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Allocate(caps, flows)
+	}
+}

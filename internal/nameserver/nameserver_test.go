@@ -1,0 +1,368 @@
+package nameserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+func newService(t *testing.T, dir string) *Service {
+	t.Helper()
+	store, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	svc, err := NewService(store, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// registerCluster registers 16 dataservers across 2 pods × 2 racks × 4
+// hosts.
+func registerCluster(t *testing.T, svc *Service) []ServerInfo {
+	t.Helper()
+	var servers []ServerInfo
+	for pod := 0; pod < 2; pod++ {
+		for rack := 0; rack < 2; rack++ {
+			for h := 0; h < 4; h++ {
+				si := ServerInfo{
+					ID:          fmt.Sprintf("ds-%d-%d-%d", pod, rack, h),
+					ControlAddr: fmt.Sprintf("10.%d.%d.%d:7000", pod, rack, h),
+					DataAddr:    fmt.Sprintf("10.%d.%d.%d:7001", pod, rack, h),
+					Host:        fmt.Sprintf("host-p%d-r%d-h%d", pod, rack, h),
+					Pod:         pod,
+					Rack:        rack,
+				}
+				if err := svc.RegisterServer(si); err != nil {
+					t.Fatal(err)
+				}
+				servers = append(servers, si)
+			}
+		}
+	}
+	return servers
+}
+
+func TestCreateLookupDelete(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	registerCluster(t, svc)
+
+	fi, err := svc.Create("data/part-000", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Name != "data/part-000" || fi.ChunkSize != DefaultChunkSize || len(fi.Replicas) != DefaultReplication {
+		t.Errorf("Create = %+v", fi)
+	}
+	if fi.ID.IsZero() {
+		t.Error("zero file id")
+	}
+	if fi.NumChunks() != 0 {
+		t.Errorf("NumChunks = %d for empty file", fi.NumChunks())
+	}
+
+	got, err := svc.Lookup("data/part-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != fi.ID {
+		t.Error("lookup returned different file")
+	}
+
+	if _, err := svc.Create("data/part-000", CreateOptions{}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+
+	deleted, err := svc.Delete("data/part-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted.ID != fi.ID {
+		t.Error("delete returned different file")
+	}
+	if _, err := svc.Lookup("data/part-000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup after delete err = %v", err)
+	}
+	if _, err := svc.Delete("data/part-000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	registerCluster(t, svc)
+
+	if _, err := svc.Create("", CreateOptions{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := svc.Create("x", CreateOptions{ChunkSize: -1}); err == nil {
+		t.Error("negative chunk size accepted")
+	}
+	if _, err := svc.Create("x", CreateOptions{Replication: -2}); err == nil {
+		t.Error("negative replication accepted")
+	}
+	if _, err := svc.Create("x", CreateOptions{Replication: 100}); !errors.Is(err, ErrNoDataservers) {
+		t.Errorf("excess replication err = %v", err)
+	}
+}
+
+func TestCreateWithoutServers(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	if _, err := svc.Create("x", CreateOptions{}); !errors.Is(err, ErrNoDataservers) {
+		t.Errorf("err = %v, want ErrNoDataservers", err)
+	}
+}
+
+func TestPlacementFaultDomains(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	registerCluster(t, svc)
+
+	byID := make(map[string]ServerInfo)
+	for _, si := range svc.Servers() {
+		byID[si.ID] = si
+	}
+	for i := 0; i < 100; i++ {
+		fi, err := svc.Create(fmt.Sprintf("f-%d", i), CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fi.Replicas) != 3 {
+			t.Fatalf("got %d replicas", len(fi.Replicas))
+		}
+		seen := make(map[string]bool)
+		for _, r := range fi.Replicas {
+			if seen[r.ServerID] {
+				t.Fatal("duplicate replica server")
+			}
+			seen[r.ServerID] = true
+		}
+		p0 := byID[fi.Replicas[0].ServerID]
+		p1 := byID[fi.Replicas[1].ServerID]
+		p2 := byID[fi.Replicas[2].ServerID]
+		// §5 default placement: two replicas in the same rack, the third
+		// in a different rack.
+		if p0.Pod != p1.Pod || p0.Rack != p1.Rack {
+			t.Fatalf("first two replicas in different racks: %+v %+v", p0, p1)
+		}
+		if p2.Pod == p0.Pod && p2.Rack == p0.Rack {
+			t.Fatalf("third replica in the primary rack: %+v", p2)
+		}
+	}
+}
+
+func TestReportSizeMonotone(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	registerCluster(t, svc)
+	fi, err := svc.Create("f", CreateOptions{ChunkSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fi
+	if err := svc.ReportSize("f", 250); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.Lookup("f")
+	if got.SizeBytes != 250 || got.NumChunks() != 3 {
+		t.Errorf("size %d chunks %d, want 250 / 3", got.SizeBytes, got.NumChunks())
+	}
+	// Sizes never shrink.
+	if err := svc.ReportSize("f", 100); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = svc.Lookup("f")
+	if got.SizeBytes != 250 {
+		t.Errorf("size shrank to %d", got.SizeBytes)
+	}
+	if err := svc.ReportSize("missing", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReportSize(missing) err = %v", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	registerCluster(t, svc)
+	for _, name := range []string{"logs/a", "logs/b", "data/c"} {
+		if _, err := svc.Create(name, CreateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logs := svc.List("logs/")
+	if len(logs) != 2 || logs[0].Name != "logs/a" || logs[1].Name != "logs/b" {
+		t.Errorf("List(logs/) = %+v", logs)
+	}
+	if all := svc.List(""); len(all) != 3 {
+		t.Errorf("List() = %d files", len(all))
+	}
+	if svc.NumFiles() != 3 {
+		t.Errorf("NumFiles = %d", svc.NumFiles())
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc := newService(t, dir)
+	registerCluster(t, svc)
+	fi, err := svc.Create("persisted", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ReportSize("persisted", 1234); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful restart: reopen the same store.
+	store, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	svc2, err := NewService(store, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc2.Lookup("persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != fi.ID || got.SizeBytes != 1234 {
+		t.Errorf("restored file = %+v", got)
+	}
+	if len(svc2.Servers()) != 16 {
+		t.Errorf("restored %d servers", len(svc2.Servers()))
+	}
+}
+
+// fakeScanner serves canned per-server file records.
+type fakeScanner struct {
+	records map[string][]FileRecord
+	fail    map[string]bool
+}
+
+func (f *fakeScanner) ScanFiles(_ context.Context, si ServerInfo) ([]FileRecord, error) {
+	if f.fail[si.ID] {
+		return nil, errors.New("scan failed")
+	}
+	return f.records[si.ID], nil
+}
+
+func TestRebuildFromDataservers(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	servers := registerCluster(t, svc)
+	fi, err := svc.Create("stale", CreateOptions{ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The dataservers know a file the store does not, and report
+	// different sizes (a replica lagging on relayed appends).
+	fresh := FileInfo{ID: fi.ID, Name: "recovered", ChunkSize: 64,
+		Replicas: fi.Replicas}
+	sc := &fakeScanner{
+		records: map[string][]FileRecord{
+			servers[0].ID: {{Info: fresh, LocalSizeBytes: 192}},
+			servers[1].ID: {{Info: fresh, LocalSizeBytes: 128}},
+		},
+		fail: map[string]bool{servers[2].ID: true},
+	}
+	if err := svc.Rebuild(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	// The stale record is gone; the scanned file exists with the max size.
+	if _, err := svc.Lookup("stale"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("stale file survived rebuild: %v", err)
+	}
+	got, err := svc.Lookup("recovered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SizeBytes != 192 {
+		t.Errorf("rebuilt size = %d, want 192 (max of replicas)", got.SizeBytes)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	if err := svc.RegisterServer(ServerInfo{}); err == nil {
+		t.Error("empty server accepted")
+	}
+}
+
+func TestRPCEndToEnd(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	registerCluster(t, svc)
+
+	srv := wire.NewServer()
+	if err := RegisterRPC(srv, svc); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Register(ctx, ServerInfo{ID: "extra", ControlAddr: "1.2.3.4:1", Host: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	servers, err := c.Servers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 17 {
+		t.Errorf("Servers = %d, want 17", len(servers))
+	}
+
+	fi, err := c.Create(ctx, "rpc-file", CreateOptions{ChunkSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.ChunkSize != 1<<20 {
+		t.Errorf("ChunkSize = %d", fi.ChunkSize)
+	}
+	if _, err := c.Create(ctx, "rpc-file", CreateOptions{}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create over RPC err = %v", err)
+	}
+
+	got, err := c.Lookup(ctx, "rpc-file")
+	if err != nil || got.ID != fi.ID {
+		t.Fatalf("Lookup = %+v, %v", got, err)
+	}
+	if _, err := c.Lookup(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Lookup(missing) err = %v", err)
+	}
+
+	if err := c.ReportSize(ctx, "rpc-file", 99); err != nil {
+		t.Fatal(err)
+	}
+	files, err := c.List(ctx, "rpc-")
+	if err != nil || len(files) != 1 || files[0].SizeBytes != 99 {
+		t.Fatalf("List = %+v, %v", files, err)
+	}
+
+	if _, err := c.Delete(ctx, "rpc-file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "rpc-file"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete(gone) err = %v", err)
+	}
+	if files, err := c.List(ctx, ""); err != nil || len(files) != 0 {
+		t.Errorf("List after delete = %v, %v", files, err)
+	}
+}

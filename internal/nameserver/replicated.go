@@ -1,0 +1,247 @@
+package nameserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/paxos"
+	"github.com/mayflower-dfs/mayflower/internal/uuid"
+)
+
+// Metadata is the nameserver interface served over RPC. Both the
+// centralized Service and the Paxos-replicated ReplicatedService
+// implement it.
+type Metadata interface {
+	RegisterServer(si ServerInfo) error
+	Heartbeat(serverID string) error
+	Servers() []ServerInfo
+	Create(name string, opts CreateOptions) (FileInfo, error)
+	Lookup(name string) (FileInfo, error)
+	List(prefix string) []FileInfo
+	Delete(name string) (FileInfo, error)
+	ReportSize(name string, sizeBytes int64) error
+	NumFiles() int
+}
+
+var (
+	_ Metadata = (*Service)(nil)
+	_ Metadata = (*ReplicatedService)(nil)
+)
+
+// command is one replicated nameserver mutation. The command carries the
+// full outcome (e.g. the planned FileInfo, placement included) so that
+// applying it is deterministic on every replica.
+type command struct {
+	// ID deduplicates re-proposed commands: a proposer whose accept
+	// reached only a minority may see its value completed by another
+	// node later *and* have retried it on a fresh slot.
+	ID   string      `json:"id"`
+	Op   string      `json:"op"`
+	Info *FileInfo   `json:"info,omitempty"`
+	Srv  *ServerInfo `json:"server,omitempty"`
+	Name string      `json:"name,omitempty"`
+	Size int64       `json:"size,omitempty"`
+}
+
+const (
+	opCreate     = "create"
+	opDelete     = "delete"
+	opRegister   = "register"
+	opReportSize = "reportSize"
+)
+
+// ErrReplicationTimeout is returned when a mutation could not be
+// committed within the configured timeout (e.g. no quorum).
+var ErrReplicationTimeout = errors.New("nameserver: replication timed out")
+
+// ReplicatedService is a nameserver whose mutations are totally ordered
+// by a Paxos log across replicas (§3.3.1's fault-tolerance extension).
+// Reads are served from local state; mutations block until committed and
+// applied locally.
+type ReplicatedService struct {
+	svc  *Service
+	node *paxos.Node
+	// ProposeTimeout bounds each mutation (default 10 s).
+	ProposeTimeout time.Duration
+
+	mu      sync.Mutex
+	applied map[string]bool
+	waiters map[string]chan error
+}
+
+// NewReplicatedService wraps a local Service. The returned value's Apply
+// method must be used as the paxos.Config.Apply callback, and the
+// resulting node attached with SetNode before serving requests:
+//
+//	rs := nameserver.NewReplicatedService(svc)
+//	node, _ := paxos.NewNode(paxos.Config{ID: id, Peers: peers, Apply: rs.Apply})
+//	rs.SetNode(node)
+func NewReplicatedService(svc *Service) *ReplicatedService {
+	return &ReplicatedService{
+		svc:            svc,
+		ProposeTimeout: 10 * time.Second,
+		applied:        make(map[string]bool),
+		waiters:        make(map[string]chan error),
+	}
+}
+
+// SetNode attaches the Paxos node (once, before use).
+func (rs *ReplicatedService) SetNode(node *paxos.Node) { rs.node = node }
+
+// Apply is the Paxos state machine hook: it executes one committed
+// command against the local Service. Empty values (gap-filling no-ops)
+// and duplicate command ids are skipped.
+func (rs *ReplicatedService) Apply(_ int64, value []byte) {
+	if len(value) == 0 {
+		return
+	}
+	var cmd command
+	if err := json.Unmarshal(value, &cmd); err != nil {
+		return // a corrupt entry can only come from a buggy proposer
+	}
+	rs.mu.Lock()
+	if rs.applied[cmd.ID] {
+		rs.mu.Unlock()
+		return
+	}
+	rs.applied[cmd.ID] = true
+	rs.mu.Unlock()
+
+	var err error
+	switch cmd.Op {
+	case opCreate:
+		if cmd.Info == nil {
+			err = errors.New("nameserver: create command without file info")
+		} else {
+			err = rs.svc.InstallFile(*cmd.Info)
+		}
+	case opDelete:
+		_, err = rs.svc.Delete(cmd.Name)
+	case opRegister:
+		if cmd.Srv == nil {
+			err = errors.New("nameserver: register command without server info")
+		} else {
+			err = rs.svc.RegisterServer(*cmd.Srv)
+		}
+	case opReportSize:
+		err = rs.svc.ReportSize(cmd.Name, cmd.Size)
+	default:
+		err = fmt.Errorf("nameserver: unknown replicated op %q", cmd.Op)
+	}
+
+	rs.mu.Lock()
+	ch := rs.waiters[cmd.ID]
+	delete(rs.waiters, cmd.ID)
+	rs.mu.Unlock()
+	if ch != nil {
+		ch <- err
+	}
+}
+
+// replicate proposes a command and waits for it to apply locally,
+// returning the apply outcome.
+func (rs *ReplicatedService) replicate(cmd command) error {
+	if rs.node == nil {
+		return errors.New("nameserver: replicated service has no paxos node")
+	}
+	id, err := uuid.New()
+	if err != nil {
+		return err
+	}
+	cmd.ID = id.String()
+	body, err := json.Marshal(cmd)
+	if err != nil {
+		return err
+	}
+
+	ch := make(chan error, 1)
+	rs.mu.Lock()
+	rs.waiters[cmd.ID] = ch
+	rs.mu.Unlock()
+	defer func() {
+		rs.mu.Lock()
+		delete(rs.waiters, cmd.ID)
+		rs.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), rs.ProposeTimeout)
+	defer cancel()
+	if _, err := rs.node.Propose(ctx, body); err != nil {
+		return fmt.Errorf("%w: %v", ErrReplicationTimeout, err)
+	}
+	// The command is chosen; it applies once every lower slot has been
+	// decided. Nudge gap-filling if the apply does not arrive promptly.
+	for {
+		select {
+		case err := <-ch:
+			return err
+		case <-ctx.Done():
+			return fmt.Errorf("%w: committed but not applied", ErrReplicationTimeout)
+		case <-time.After(100 * time.Millisecond):
+			cctx, ccancel := context.WithTimeout(ctx, time.Second)
+			_ = rs.node.CatchUp(cctx)
+			ccancel()
+		}
+	}
+}
+
+// RegisterServer replicates a dataserver registration.
+func (rs *ReplicatedService) RegisterServer(si ServerInfo) error {
+	if si.ID == "" || si.ControlAddr == "" {
+		return errors.New("nameserver: server needs an id and control address")
+	}
+	return rs.replicate(command{Op: opRegister, Srv: &si})
+}
+
+// Heartbeat records liveness locally. Liveness is soft state and is not
+// replicated: each replica independently observes the dataservers that
+// talk to it.
+func (rs *ReplicatedService) Heartbeat(serverID string) error { return rs.svc.Heartbeat(serverID) }
+
+// Servers lists registered dataservers from local state.
+func (rs *ReplicatedService) Servers() []ServerInfo { return rs.svc.Servers() }
+
+// Create plans a file locally (placement included) and replicates the
+// planned record; every replica installs the identical FileInfo.
+func (rs *ReplicatedService) Create(name string, opts CreateOptions) (FileInfo, error) {
+	fi, err := rs.svc.PlanCreate(name, opts)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if err := rs.replicate(command{Op: opCreate, Info: &fi}); err != nil {
+		return FileInfo{}, err
+	}
+	return fi, nil
+}
+
+// Lookup serves a file's metadata from local state.
+func (rs *ReplicatedService) Lookup(name string) (FileInfo, error) { return rs.svc.Lookup(name) }
+
+// List serves the file listing from local state.
+func (rs *ReplicatedService) List(prefix string) []FileInfo { return rs.svc.List(prefix) }
+
+// Delete replicates a file deletion.
+func (rs *ReplicatedService) Delete(name string) (FileInfo, error) {
+	// Fetch first so the caller still gets the replica locations; the
+	// authoritative existence check happens at apply time.
+	fi, err := rs.svc.Lookup(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if err := rs.replicate(command{Op: opDelete, Name: name}); err != nil {
+		return FileInfo{}, err
+	}
+	return fi, nil
+}
+
+// ReportSize replicates a size report.
+func (rs *ReplicatedService) ReportSize(name string, sizeBytes int64) error {
+	return rs.replicate(command{Op: opReportSize, Name: name, Size: sizeBytes})
+}
+
+// NumFiles reports the local file count.
+func (rs *ReplicatedService) NumFiles() int { return rs.svc.NumFiles() }

@@ -1,0 +1,364 @@
+package nameserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/paxos"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// replicatedCluster is three nameserver replicas over in-process Paxos.
+type replicatedCluster struct {
+	services []*ReplicatedService
+	locals   []*Service
+	nodes    []*paxos.Node
+}
+
+// localPaxosTransport adapts a node for in-process delivery.
+type localPaxosTransport struct{ node *paxos.Node }
+
+func (t localPaxosTransport) Prepare(_ context.Context, a paxos.PrepareArgs) (paxos.PrepareReply, error) {
+	return t.node.HandlePrepare(a), nil
+}
+
+func (t localPaxosTransport) Accept(_ context.Context, a paxos.AcceptArgs) (paxos.AcceptReply, error) {
+	return t.node.HandleAccept(a), nil
+}
+
+func (t localPaxosTransport) Learn(_ context.Context, a paxos.LearnArgs) error {
+	t.node.HandleLearn(a)
+	return nil
+}
+
+func newReplicatedCluster(t *testing.T, n int) *replicatedCluster {
+	t.Helper()
+	rc := &replicatedCluster{}
+	peerMaps := make([]map[int64]paxos.Transport, n)
+	for i := 0; i < n; i++ {
+		peerMaps[i] = make(map[int64]paxos.Transport)
+		store, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		svc, err := NewService(store, rand.New(rand.NewSource(int64(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := NewReplicatedService(svc)
+		rs.ProposeTimeout = 5 * time.Second
+		node, err := paxos.NewNode(paxos.Config{ID: int64(i), Peers: peerMaps[i], Apply: rs.Apply})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.SetNode(node)
+		rc.services = append(rc.services, rs)
+		rc.locals = append(rc.locals, svc)
+		rc.nodes = append(rc.nodes, node)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				peerMaps[i][int64(j)] = localPaxosTransport{node: rc.nodes[j]}
+			}
+		}
+	}
+	return rc
+}
+
+// registerTestServers registers a small dataserver fleet through replica 0.
+func registerTestServers(t *testing.T, rs *ReplicatedService) {
+	t.Helper()
+	for pod := 0; pod < 2; pod++ {
+		for rack := 0; rack < 2; rack++ {
+			for h := 0; h < 2; h++ {
+				err := rs.RegisterServer(ServerInfo{
+					ID:          fmt.Sprintf("ds-%d-%d-%d", pod, rack, h),
+					ControlAddr: "127.0.0.1:1",
+					Host:        fmt.Sprintf("host-p%d-r%d-h%d", pod, rack, h),
+					Pod:         pod,
+					Rack:        rack,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func waitReplicated(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("replicas did not converge")
+}
+
+func TestReplicatedCreateVisibleEverywhere(t *testing.T) {
+	rc := newReplicatedCluster(t, 3)
+	registerTestServers(t, rc.services[0])
+
+	fi, err := rc.services[0].Create("repl/file-1", CreateOptions{ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReplicated(t, func() bool {
+		for _, svc := range rc.services {
+			if _, err := svc.Lookup("repl/file-1"); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+	// Identical record — including placement — on every replica.
+	for i, svc := range rc.services {
+		got, err := svc.Lookup("repl/file-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != fi.ID || len(got.Replicas) != len(fi.Replicas) {
+			t.Fatalf("replica %d has %+v, want %+v", i, got, fi)
+		}
+		for j := range got.Replicas {
+			if got.Replicas[j].ServerID != fi.Replicas[j].ServerID {
+				t.Fatalf("replica %d placement diverged", i)
+			}
+		}
+	}
+}
+
+func TestReplicatedDuplicateCreateRejected(t *testing.T) {
+	rc := newReplicatedCluster(t, 3)
+	registerTestServers(t, rc.services[0])
+
+	if _, err := rc.services[0].Create("dup", CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent create of the same name through another replica: the
+	// second committed command must fail at apply time on every node.
+	waitReplicated(t, func() bool {
+		_, err := rc.services[1].Lookup("dup")
+		return err == nil
+	})
+	if _, err := rc.services[1].Create("dup", CreateOptions{}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create err = %v, want ErrExists", err)
+	}
+}
+
+func TestReplicatedDeleteAndReportSize(t *testing.T) {
+	rc := newReplicatedCluster(t, 3)
+	registerTestServers(t, rc.services[0])
+	if _, err := rc.services[0].Create("f", CreateOptions{ChunkSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.services[1].ReportSize("f", 777); err != nil {
+		// Replica 1 may not have applied the create yet; retry briefly.
+		waitReplicated(t, func() bool { return rc.services[1].ReportSize("f", 777) == nil })
+	}
+	waitReplicated(t, func() bool {
+		for _, svc := range rc.services {
+			fi, err := svc.Lookup("f")
+			if err != nil || fi.SizeBytes != 777 {
+				return false
+			}
+		}
+		return true
+	})
+
+	if _, err := rc.services[2].Delete("f"); err != nil {
+		waitReplicated(t, func() bool {
+			_, err := rc.services[2].Delete("f")
+			return err == nil || errors.Is(err, ErrNotFound)
+		})
+	}
+	waitReplicated(t, func() bool {
+		for _, svc := range rc.services {
+			if _, err := svc.Lookup("f"); !errors.Is(err, ErrNotFound) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestReplicatedConcurrentCreatesDistinctNames(t *testing.T) {
+	rc := newReplicatedCluster(t, 3)
+	registerTestServers(t, rc.services[0])
+	// Placement plans run against replica-local state; wait until every
+	// replica has applied the registrations before creating through them.
+	waitReplicated(t, func() bool {
+		for _, svc := range rc.services {
+			if len(svc.Servers()) != 8 {
+				return false
+			}
+		}
+		return true
+	})
+
+	var wg sync.WaitGroup
+	const perReplica = 5
+	for i, svc := range rc.services {
+		i, svc := i, svc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perReplica; k++ {
+				name := fmt.Sprintf("c/%d-%d", i, k)
+				if _, err := svc.Create(name, CreateOptions{}); err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := perReplica * len(rc.services)
+	waitReplicated(t, func() bool {
+		for _, svc := range rc.services {
+			if svc.NumFiles() != total {
+				return false
+			}
+		}
+		return true
+	})
+	// Every replica agrees on every record.
+	ref := rc.services[0].List("")
+	for i := 1; i < len(rc.services); i++ {
+		got := rc.services[i].List("")
+		if len(got) != len(ref) {
+			t.Fatalf("replica %d has %d files, want %d", i, len(got), len(ref))
+		}
+		for k := range ref {
+			if got[k].ID != ref[k].ID || got[k].Name != ref[k].Name {
+				t.Fatalf("replica %d diverges at %s", i, ref[k].Name)
+			}
+		}
+	}
+}
+
+func TestReplicatedWithoutNode(t *testing.T) {
+	store, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	svc, err := NewService(store, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := NewReplicatedService(svc)
+	if err := rs.RegisterServer(ServerInfo{ID: "x", ControlAddr: "y"}); err == nil {
+		t.Error("mutation without a paxos node succeeded")
+	}
+	if err := rs.RegisterServer(ServerInfo{}); err == nil {
+		t.Error("invalid server accepted")
+	}
+}
+
+// TestReplicatedOverRPC serves a replicated nameserver through the normal
+// nameserver RPC interface — proving Metadata covers both
+// implementations — with Paxos running over real TCP.
+func TestReplicatedOverRPC(t *testing.T) {
+	const n = 3
+	type replica struct {
+		rs   *ReplicatedService
+		node *paxos.Node
+	}
+	replicas := make([]replica, n)
+	peerMaps := make([]map[int64]paxos.Transport, n)
+	paxosAddrs := make([]string, n)
+
+	for i := 0; i < n; i++ {
+		peerMaps[i] = make(map[int64]paxos.Transport)
+		store, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		svc, err := NewService(store, rand.New(rand.NewSource(int64(i+10))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := NewReplicatedService(svc)
+		node, err := paxos.NewNode(paxos.Config{ID: int64(i), Peers: peerMaps[i], Apply: rs.Apply})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.SetNode(node)
+		replicas[i] = replica{rs: rs, node: node}
+
+		psrv := wire.NewServer()
+		if err := paxos.RegisterRPC(psrv, node); err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go psrv.Serve(ln)
+		t.Cleanup(func() { psrv.Close() })
+		paxosAddrs[i] = ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			tr := paxos.NewRPCTransport(paxosAddrs[j])
+			t.Cleanup(func() { tr.Close() })
+			peerMaps[i][int64(j)] = tr
+		}
+	}
+
+	// Serve replica 0 through the standard nameserver RPC surface.
+	nsSrv := wire.NewServer()
+	if err := RegisterRPC(nsSrv, replicas[0].rs); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go nsSrv.Serve(ln)
+	t.Cleanup(func() { nsSrv.Close() })
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if err := c.Register(ctx, ServerInfo{ID: "ds-a", ControlAddr: "127.0.0.1:1", Host: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := c.Create(ctx, "over-rpc", CreateOptions{Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Name != "over-rpc" {
+		t.Errorf("Create = %+v", fi)
+	}
+	// The mutation reached the other replicas through Paxos.
+	waitReplicated(t, func() bool {
+		for i := 1; i < n; i++ {
+			if _, err := replicas[i].rs.Lookup("over-rpc"); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+}

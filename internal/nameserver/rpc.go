@@ -1,0 +1,213 @@
+package nameserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// RPC method names served by the nameserver.
+const (
+	MethodRegister   = "ns.Register"
+	MethodCreate     = "ns.Create"
+	MethodLookup     = "ns.Lookup"
+	MethodList       = "ns.List"
+	MethodDelete     = "ns.Delete"
+	MethodReportSize = "ns.ReportSize"
+	MethodServers    = "ns.Servers"
+	MethodHeartbeat  = "ns.Heartbeat"
+)
+
+type createArgs struct {
+	Name string        `json:"name"`
+	Opts CreateOptions `json:"opts"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+type listArgs struct {
+	Prefix string `json:"prefix"`
+}
+
+type heartbeatArgs struct {
+	ServerID string `json:"serverId"`
+}
+
+type reportSizeArgs struct {
+	Name      string `json:"name"`
+	SizeBytes int64  `json:"sizeBytes"`
+}
+
+// RegisterRPC exposes a nameserver (centralized Service or
+// Paxos-replicated ReplicatedService) on a wire server.
+func RegisterRPC(srv *wire.Server, svc Metadata) error {
+	handlers := map[string]wire.Handler{
+		MethodRegister: func(_ context.Context, params json.RawMessage) (any, error) {
+			var si ServerInfo
+			if err := json.Unmarshal(params, &si); err != nil {
+				return nil, err
+			}
+			return struct{}{}, svc.RegisterServer(si)
+		},
+		MethodCreate: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a createArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return svc.Create(a.Name, a.Opts)
+		},
+		MethodLookup: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a nameArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return svc.Lookup(a.Name)
+		},
+		MethodList: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a listArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			files := svc.List(a.Prefix)
+			if files == nil {
+				files = []FileInfo{}
+			}
+			return files, nil
+		},
+		MethodDelete: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a nameArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return svc.Delete(a.Name)
+		},
+		MethodReportSize: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a reportSizeArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return struct{}{}, svc.ReportSize(a.Name, a.SizeBytes)
+		},
+		MethodHeartbeat: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a heartbeatArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return struct{}{}, svc.Heartbeat(a.ServerID)
+		},
+		MethodServers: func(_ context.Context, params json.RawMessage) (any, error) {
+			servers := svc.Servers()
+			if servers == nil {
+				servers = []ServerInfo{}
+			}
+			return servers, nil
+		},
+	}
+	for name, h := range handlers {
+		if err := srv.Register(name, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Client is a typed nameserver RPC client.
+type Client struct {
+	c *wire.Client
+}
+
+// NewClient wraps an established wire client.
+func NewClient(c *wire.Client) *Client { return &Client{c: c} }
+
+// Dial connects to a nameserver at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("nameserver: dial: %w", err)
+	}
+	return NewClient(c), nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Register registers a dataserver.
+func (c *Client) Register(ctx context.Context, si ServerInfo) error {
+	var out struct{}
+	return mapError(c.c.Call(ctx, MethodRegister, si, &out))
+}
+
+// Create creates a file and returns its metadata.
+func (c *Client) Create(ctx context.Context, name string, opts CreateOptions) (FileInfo, error) {
+	var fi FileInfo
+	err := c.c.Call(ctx, MethodCreate, createArgs{Name: name, Opts: opts}, &fi)
+	return fi, mapError(err)
+}
+
+// Lookup fetches a file's metadata.
+func (c *Client) Lookup(ctx context.Context, name string) (FileInfo, error) {
+	var fi FileInfo
+	err := c.c.Call(ctx, MethodLookup, nameArgs{Name: name}, &fi)
+	return fi, mapError(err)
+}
+
+// List fetches metadata for files with the given name prefix.
+func (c *Client) List(ctx context.Context, prefix string) ([]FileInfo, error) {
+	var files []FileInfo
+	err := c.c.Call(ctx, MethodList, listArgs{Prefix: prefix}, &files)
+	return files, mapError(err)
+}
+
+// Delete removes a file's metadata, returning its last known info.
+func (c *Client) Delete(ctx context.Context, name string) (FileInfo, error) {
+	var fi FileInfo
+	err := c.c.Call(ctx, MethodDelete, nameArgs{Name: name}, &fi)
+	return fi, mapError(err)
+}
+
+// ReportSize records a file's new size after an append.
+func (c *Client) ReportSize(ctx context.Context, name string, sizeBytes int64) error {
+	var out struct{}
+	return mapError(c.c.Call(ctx, MethodReportSize, reportSizeArgs{Name: name, SizeBytes: sizeBytes}, &out))
+}
+
+// Heartbeat reports a dataserver as alive.
+func (c *Client) Heartbeat(ctx context.Context, serverID string) error {
+	var out struct{}
+	return mapError(c.c.Call(ctx, MethodHeartbeat, heartbeatArgs{ServerID: serverID}, &out))
+}
+
+// Servers lists registered dataservers.
+func (c *Client) Servers(ctx context.Context) ([]ServerInfo, error) {
+	var servers []ServerInfo
+	err := c.c.Call(ctx, MethodServers, struct{}{}, &servers)
+	return servers, mapError(err)
+}
+
+// mapError restores the package's sentinel errors from remote error
+// strings so callers can use errors.Is across the RPC boundary.
+func mapError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	switch {
+	case strings.Contains(re.Msg, ErrNotFound.Error()):
+		return fmt.Errorf("%w (%s)", ErrNotFound, re.Method)
+	case strings.Contains(re.Msg, ErrExists.Error()):
+		return fmt.Errorf("%w (%s)", ErrExists, re.Method)
+	case strings.Contains(re.Msg, ErrNoDataservers.Error()):
+		return fmt.Errorf("%w (%s)", ErrNoDataservers, re.Method)
+	default:
+		return err
+	}
+}

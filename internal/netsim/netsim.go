@@ -1,0 +1,360 @@
+// Package netsim is a flow-level, event-driven datacenter network
+// simulator. It is the "simulations" half of the Mayflower evaluation
+// (§6): flows traverse directed link paths through a topology, share link
+// bandwidth max-min fairly (the steady-state behaviour of long TCP flows),
+// and complete when their bytes are delivered.
+//
+// The simulator exposes two views of its state:
+//
+//   - Ground truth (FlowRate, FlowRemaining), used by tests and by the
+//     simulator itself.
+//
+//   - Counter-based observations (FlowTransferred, LinkTransferred), the
+//     byte counters an OpenFlow edge switch would export. The Flowserver's
+//     stats collector is built on these, so its bandwidth estimates carry
+//     the same staleness they would against real switches.
+//
+// Time is a float64 in seconds; sizes are bits; rates are bits per second.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/mayflower-dfs/mayflower/internal/maxmin"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// FlowID identifies a flow within one Sim.
+type FlowID int64
+
+// completionEps is the residual size below which a flow counts as done.
+const completionEps = 1e-3 // bits
+
+// FlowConfig describes a flow to start.
+type FlowConfig struct {
+	// Links is the directed path the flow takes.
+	Links []topology.LinkID
+	// Bits is the amount of data to transfer.
+	Bits float64
+	// OnComplete, if non-nil, runs inside the simulation when the flow
+	// finishes, with the completion time.
+	OnComplete func(endTime float64)
+}
+
+type simFlow struct {
+	id          FlowID
+	links       []int
+	remaining   float64
+	transferred float64
+	rate        float64
+	onComplete  func(float64)
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a flow-level network simulator over a fixed topology.
+type Sim struct {
+	topo     *topology.Topology
+	capacity []float64
+
+	now     float64
+	nextID  FlowID
+	nextSeq int64
+	flows   map[FlowID]*simFlow
+	events  eventHeap
+
+	linkBits []float64 // cumulative bits forwarded per directed link
+
+	gen       int64 // rate-allocation generation, invalidates completions
+	dirty     bool
+	executing bool
+}
+
+// New creates a simulator for the given topology at time zero.
+func New(topo *topology.Topology) *Sim {
+	capacity := make([]float64, topo.NumLinks())
+	for _, l := range topo.Links() {
+		capacity[l.ID] = l.Capacity
+	}
+	return &Sim{
+		topo:     topo,
+		capacity: capacity,
+		flows:    make(map[FlowID]*simFlow),
+		linkBits: make([]float64, topo.NumLinks()),
+	}
+}
+
+// Topology returns the topology the simulator runs over.
+func (s *Sim) Topology() *topology.Topology { return s.topo }
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// NumActiveFlows returns the number of in-flight flows.
+func (s *Sim) NumActiveFlows() int { return len(s.flows) }
+
+// ActiveFlows returns the ids of all in-flight flows (unordered).
+func (s *Sim) ActiveFlows() []FlowID {
+	out := make([]FlowID, 0, len(s.flows))
+	for id := range s.flows {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Schedule runs fn inside the simulation at time t (>= Now).
+func (s *Sim) Schedule(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: Schedule(%g) before now (%g)", t, s.now))
+	}
+	s.nextSeq++
+	heap.Push(&s.events, &event{time: t, seq: s.nextSeq, fn: fn})
+}
+
+// StartFlow adds a flow at the current time and returns its id.
+func (s *Sim) StartFlow(cfg FlowConfig) FlowID {
+	if cfg.Bits < 0 {
+		panic("netsim: negative flow size")
+	}
+	s.nextID++
+	id := s.nextID
+	links := make([]int, len(cfg.Links))
+	for i, l := range cfg.Links {
+		links[i] = int(l)
+	}
+	s.flows[id] = &simFlow{
+		id:         id,
+		links:      links,
+		remaining:  cfg.Bits,
+		onComplete: cfg.OnComplete,
+	}
+	s.dirty = true
+	if !s.executing {
+		s.reallocate()
+	}
+	return id
+}
+
+// CancelFlow removes a flow without running its completion callback.
+// Cancelling an unknown (or already finished) flow is a no-op.
+func (s *Sim) CancelFlow(id FlowID) {
+	if _, ok := s.flows[id]; !ok {
+		return
+	}
+	delete(s.flows, id)
+	s.dirty = true
+	if !s.executing {
+		s.reallocate()
+	}
+}
+
+// FlowRate returns the ground-truth current rate of a flow, or 0 if the
+// flow is not active.
+func (s *Sim) FlowRate(id FlowID) float64 {
+	f, ok := s.flows[id]
+	if !ok {
+		return 0
+	}
+	return f.rate
+}
+
+// FlowRemaining returns the ground-truth remaining bits of a flow, or 0.
+func (s *Sim) FlowRemaining(id FlowID) float64 {
+	f, ok := s.flows[id]
+	if !ok {
+		return 0
+	}
+	return f.remaining
+}
+
+// FlowTransferred returns the cumulative bits delivered for a flow so far:
+// the per-flow byte counter an edge switch would export. It returns 0 for
+// unknown flows (counters for completed flows are gone, as they are when a
+// switch evicts a flow table entry).
+func (s *Sim) FlowTransferred(id FlowID) float64 {
+	f, ok := s.flows[id]
+	if !ok {
+		return 0
+	}
+	return f.transferred
+}
+
+// LinkTransferred returns the cumulative bits forwarded over a directed
+// link: the port byte counter of the switch driving that link.
+func (s *Sim) LinkTransferred(id topology.LinkID) float64 {
+	return s.linkBits[id]
+}
+
+// LinkRate returns the ground-truth aggregate rate currently crossing a
+// directed link.
+func (s *Sim) LinkRate(id topology.LinkID) float64 {
+	var total float64
+	for _, f := range s.flows {
+		for _, l := range f.links {
+			if l == int(id) {
+				total += f.rate
+			}
+		}
+	}
+	return total
+}
+
+// Run processes events until none remain and no flows are active.
+func (s *Sim) Run() { s.runUntil(math.Inf(1)) }
+
+// RunUntil processes events up to and including time t, then advances the
+// clock to t. Pending later events remain queued.
+func (s *Sim) RunUntil(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: RunUntil(%g) before now (%g)", t, s.now))
+	}
+	s.runUntil(t)
+	if !math.IsInf(t, 1) {
+		s.advanceTo(t)
+		s.now = t
+	}
+}
+
+func (s *Sim) runUntil(t float64) {
+	if s.dirty {
+		s.reallocate()
+	}
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.time > t {
+			return
+		}
+		heap.Pop(&s.events)
+		s.advanceTo(next.time)
+		s.now = next.time
+
+		s.executing = true
+		next.fn()
+		s.executing = false
+
+		s.finishCompleted()
+		if s.dirty {
+			s.reallocate()
+		}
+	}
+}
+
+// advanceTo moves flow progress and link counters forward to time t without
+// changing rates.
+func (s *Sim) advanceTo(t float64) {
+	dt := t - s.now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range s.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		f.transferred += moved
+		for _, l := range f.links {
+			s.linkBits[l] += moved
+		}
+	}
+	s.now = t
+}
+
+// finishCompleted removes flows whose remaining size reached zero and runs
+// their callbacks (which may start new flows).
+func (s *Sim) finishCompleted() {
+	var done []*simFlow
+	for _, f := range s.flows {
+		if f.remaining <= completionEps {
+			done = append(done, f)
+		}
+	}
+	if len(done) == 0 {
+		return
+	}
+	// Deterministic order for callbacks.
+	for i := 0; i < len(done); i++ {
+		for j := i + 1; j < len(done); j++ {
+			if done[j].id < done[i].id {
+				done[i], done[j] = done[j], done[i]
+			}
+		}
+	}
+	for _, f := range done {
+		delete(s.flows, f.id)
+	}
+	s.dirty = true
+	for _, f := range done {
+		if f.onComplete != nil {
+			s.executing = true
+			f.onComplete(s.now)
+			s.executing = false
+		}
+	}
+}
+
+// reallocate recomputes max-min fair rates and schedules the next
+// completion event.
+func (s *Sim) reallocate() {
+	s.dirty = false
+	s.gen++
+
+	ids := make([]FlowID, 0, len(s.flows))
+	flows := make([]maxmin.Flow, 0, len(s.flows))
+	for id, f := range s.flows {
+		ids = append(ids, id)
+		flows = append(flows, maxmin.Flow{Links: f.links, Demand: math.Inf(1)})
+	}
+	rates := maxmin.Allocate(s.capacity, flows)
+
+	nextDone := math.Inf(1)
+	for i, id := range ids {
+		f := s.flows[id]
+		f.rate = rates[i]
+		if f.remaining <= completionEps {
+			nextDone = s.now // already done (zero-size flow)
+			continue
+		}
+		if f.rate > 0 {
+			if t := s.now + f.remaining/f.rate; t < nextDone {
+				nextDone = t
+			}
+		}
+	}
+	if math.IsInf(nextDone, 1) {
+		return
+	}
+	gen := s.gen
+	s.Schedule(nextDone, func() {
+		if gen != s.gen {
+			return // stale: rates changed since this was scheduled
+		}
+		// advance/finish handled by the run loop after this event.
+	})
+}

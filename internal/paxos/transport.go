@@ -1,0 +1,135 @@
+package paxos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// RPC method names for the wire transport.
+const (
+	MethodPrepare = "paxos.Prepare"
+	MethodAccept  = "paxos.Accept"
+	MethodLearn   = "paxos.Learn"
+)
+
+// RegisterRPC exposes a node's acceptor and learner roles on a wire
+// server.
+func RegisterRPC(srv *wire.Server, n *Node) error {
+	handlers := map[string]wire.Handler{
+		MethodPrepare: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a PrepareArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return n.HandlePrepare(a), nil
+		},
+		MethodAccept: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a AcceptArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			return n.HandleAccept(a), nil
+		},
+		MethodLearn: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a LearnArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			n.HandleLearn(a)
+			return struct{}{}, nil
+		},
+	}
+	for name, h := range handlers {
+		if err := srv.Register(name, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RPCTransport is a Transport over the wire RPC framework, redialing
+// lazily so a restarted peer is picked up transparently.
+type RPCTransport struct {
+	addr string
+
+	mu sync.Mutex
+	c  *wire.Client
+}
+
+var _ Transport = (*RPCTransport)(nil)
+
+// NewRPCTransport creates a transport for the peer at addr.
+func NewRPCTransport(addr string) *RPCTransport {
+	return &RPCTransport{addr: addr}
+}
+
+func (t *RPCTransport) client() (*wire.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		return t.c, nil
+	}
+	c, err := wire.Dial(t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("paxos: dial %s: %w", t.addr, err)
+	}
+	t.c = c
+	return c, nil
+}
+
+func (t *RPCTransport) drop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		t.c.Close()
+		t.c = nil
+	}
+}
+
+func (t *RPCTransport) call(ctx context.Context, method string, args, reply any) error {
+	c, err := t.client()
+	if err != nil {
+		return err
+	}
+	if err := c.Call(ctx, method, args, reply); err != nil {
+		t.drop()
+		return err
+	}
+	return nil
+}
+
+// Prepare implements Transport.
+func (t *RPCTransport) Prepare(ctx context.Context, args PrepareArgs) (PrepareReply, error) {
+	var reply PrepareReply
+	err := t.call(ctx, MethodPrepare, args, &reply)
+	return reply, err
+}
+
+// Accept implements Transport.
+func (t *RPCTransport) Accept(ctx context.Context, args AcceptArgs) (AcceptReply, error) {
+	var reply AcceptReply
+	err := t.call(ctx, MethodAccept, args, &reply)
+	return reply, err
+}
+
+// Learn implements Transport.
+func (t *RPCTransport) Learn(ctx context.Context, args LearnArgs) error {
+	var reply struct{}
+	return t.call(ctx, MethodLearn, args, &reply)
+}
+
+// Close releases the underlying connection.
+func (t *RPCTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.c != nil {
+		err := t.c.Close()
+		t.c = nil
+		return err
+	}
+	return nil
+}

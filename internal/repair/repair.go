@@ -1,0 +1,211 @@
+// Package repair restores replication after dataserver failures,
+// completing the paper's §3.2 design goal of GFS/HDFS-grade fault
+// tolerance (the paper leaves re-replication to the substrate designs it
+// inherits from).
+//
+// A repair pass works against the nameserver's liveness view
+// (heartbeats):
+//
+//  1. Dataservers that have not beaten within the timeout are declared
+//     dead.
+//  2. Every file with a replica on a dead server gets a replacement
+//     placed on a live server in (preferably) a previously unused rack.
+//  3. The replacement copies the bytes from a surviving replica over the
+//     bulk data protocol (ds.Replicate), resumable if interrupted.
+//  4. The nameserver swaps the replica in the file record — promoting the
+//     first surviving replica to primary when the primary died — and the
+//     final record is pushed to every live replica (ds.UpdateMeta) so
+//     their local metadata agrees on the new append orderer.
+//
+// A file whose every replica is dead is reported as lost, not repaired.
+package repair
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/dataserver"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// Config parameterizes a repair pass.
+type Config struct {
+	// Service is the (co-located) nameserver.
+	Service *nameserver.Service
+	// DeadAfter is the heartbeat silence that declares a server dead.
+	DeadAfter time.Duration
+	// Dial opens dataserver control connections; wire.Dial if nil.
+	Dial func(addr string) (*wire.Client, error)
+}
+
+// FileFault records one file the pass could not repair.
+type FileFault struct {
+	Name string
+	Err  error
+}
+
+// Result summarizes one repair pass.
+type Result struct {
+	// Dead lists the server ids declared dead this pass.
+	Dead []string
+	// Repaired counts replica replacements performed.
+	Repaired int
+	// Lost lists files with no surviving replica.
+	Lost []string
+	// Faults lists files whose repair failed (retried next pass).
+	Faults []FileFault
+}
+
+// Run executes one repair pass.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Service == nil {
+		return nil, fmt.Errorf("repair: Service is required")
+	}
+	if cfg.DeadAfter <= 0 {
+		return nil, fmt.Errorf("repair: DeadAfter must be > 0, got %v", cfg.DeadAfter)
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = wire.Dial
+	}
+	svc := cfg.Service
+
+	dead := svc.DeadServers(time.Now().Add(-cfg.DeadAfter))
+	deadSet := make(map[string]bool, len(dead))
+	res := &Result{}
+	for _, si := range dead {
+		deadSet[si.ID] = true
+		res.Dead = append(res.Dead, si.ID)
+	}
+	if len(deadSet) == 0 {
+		return res, nil
+	}
+	alive := func(si nameserver.ServerInfo) bool { return !deadSet[si.ID] }
+
+	for _, fi := range svc.List("") {
+		for _, rep := range fi.Replicas {
+			if !deadSet[rep.ServerID] {
+				continue
+			}
+			// Re-read the record: an earlier iteration may have already
+			// promoted or replaced replicas of this file.
+			cur, err := svc.Lookup(fi.Name)
+			if err != nil {
+				continue // deleted meanwhile
+			}
+			if err := repairOne(ctx, svc, dial, cur, rep.ServerID, deadSet, alive); err != nil {
+				if isLost(err) {
+					res.Lost = append(res.Lost, fi.Name)
+				} else {
+					res.Faults = append(res.Faults, FileFault{Name: fi.Name, Err: err})
+				}
+				continue
+			}
+			res.Repaired++
+		}
+	}
+	return res, nil
+}
+
+type lostError struct{ name string }
+
+func (e *lostError) Error() string {
+	return fmt.Sprintf("repair: every replica of %s is dead", e.name)
+}
+
+func isLost(err error) bool {
+	_, ok := err.(*lostError)
+	return ok
+}
+
+// repairOne replaces one dead replica of one file.
+func repairOne(ctx context.Context, svc *nameserver.Service, dial func(string) (*wire.Client, error),
+	fi nameserver.FileInfo, deadID string, deadSet map[string]bool, alive func(nameserver.ServerInfo) bool) error {
+
+	// A surviving source.
+	var source *nameserver.ReplicaLoc
+	stillDead := false
+	for i := range fi.Replicas {
+		rep := fi.Replicas[i]
+		if rep.ServerID == deadID {
+			stillDead = true
+			continue
+		}
+		if !deadSet[rep.ServerID] && source == nil {
+			source = &rep
+		}
+	}
+	if !stillDead {
+		return nil // already repaired earlier this pass
+	}
+	if source == nil {
+		return &lostError{name: fi.Name}
+	}
+
+	deadIDs := make([]string, 0, len(deadSet))
+	for id := range deadSet {
+		deadIDs = append(deadIDs, id)
+	}
+	repl, err := svc.PlaceReplacement(fi, deadIDs, alive)
+	if err != nil {
+		return err
+	}
+
+	// Authoritative size from the source.
+	srcCtl, err := dial(source.ControlAddr)
+	if err != nil {
+		return fmt.Errorf("repair: dial source %s: %w", source.ServerID, err)
+	}
+	var st dataserver.StatReply
+	err = srcCtl.Call(ctx, dataserver.MethodStat, dataserver.FileIDArgs{FileID: fi.ID}, &st)
+	srcCtl.Close()
+	if err != nil {
+		return fmt.Errorf("repair: stat source %s: %w", source.ServerID, err)
+	}
+
+	// Copy the bytes onto the replacement.
+	dstCtl, err := dial(repl.ControlAddr)
+	if err != nil {
+		return fmt.Errorf("repair: dial replacement %s: %w", repl.ServerID, err)
+	}
+	defer dstCtl.Close()
+	var rr dataserver.ReplicateReply
+	if err := dstCtl.Call(ctx, dataserver.MethodReplicate, dataserver.ReplicateArgs{
+		Info:           fi,
+		SourceDataAddr: source.DataAddr,
+		SizeBytes:      st.SizeBytes,
+	}, &rr); err != nil {
+		return fmt.Errorf("repair: replicate %s to %s: %w", fi.Name, repl.ServerID, err)
+	}
+	if rr.SizeBytes < st.SizeBytes {
+		return fmt.Errorf("repair: replacement %s holds %d of %d bytes", repl.ServerID, rr.SizeBytes, st.SizeBytes)
+	}
+
+	// Commit the new replica set and push it to every live replica so
+	// local metadata (notably the primary identity) agrees.
+	if err := svc.ReplaceReplica(fi.Name, deadID, repl); err != nil {
+		return err
+	}
+	updated, err := svc.Lookup(fi.Name)
+	if err != nil {
+		return err
+	}
+	for _, rep := range updated.Replicas {
+		if deadSet[rep.ServerID] {
+			continue
+		}
+		cc, err := dial(rep.ControlAddr)
+		if err != nil {
+			return fmt.Errorf("repair: dial %s for meta update: %w", rep.ServerID, err)
+		}
+		var out struct{}
+		err = cc.Call(ctx, dataserver.MethodUpdateMeta, dataserver.UpdateMetaArgs{Info: updated}, &out)
+		cc.Close()
+		if err != nil {
+			return fmt.Errorf("repair: update meta on %s: %w", rep.ServerID, err)
+		}
+	}
+	return nil
+}

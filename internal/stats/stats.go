@@ -1,0 +1,251 @@
+// Package stats provides the summary statistics the Mayflower evaluation
+// reports: means, percentiles, Student-t confidence intervals for means
+// (used in Figure 6), and Fieller confidence intervals for ratios of means
+// (used for the normalized bars in Figures 4 and 5).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more samples than
+// were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator),
+// or 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// MeanCI returns the mean of xs and its two-sided confidence interval at
+// the given confidence level (e.g. 0.95), computed with the Student-t
+// distribution as in the paper's Figure 6 error bars.
+func MeanCI(xs []float64, confidence float64) (mean float64, ci Interval, err error) {
+	if len(xs) < 2 {
+		return 0, Interval{}, ErrInsufficientData
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, Interval{}, errors.New("stats: confidence must be in (0,1)")
+	}
+	mean = Mean(xs)
+	se := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	tcrit := TQuantile(1-(1-confidence)/2, float64(len(xs)-1))
+	return mean, Interval{Lo: mean - tcrit*se, Hi: mean + tcrit*se}, nil
+}
+
+// RatioCI computes the ratio of means mean(num)/mean(den) together with a
+// Fieller confidence interval for the ratio, assuming the two samples are
+// independent (the paper's Figures 4 and 5 use "95% confidence interval
+// calculated using Fieller's Method" on times normalized to Mayflower).
+//
+// With m_x = mean(num), m_y = mean(den), standard errors s_x, s_y and
+// t the critical value, Fieller's interval for R = m_x/m_y is
+//
+//	( m_x*m_y ± sqrt( (m_x*m_y)^2 − (m_y²−t²s_y²)(m_x²−t²s_x²) ) ) / (m_y²−t²s_y²)
+//
+// The interval is only finite when the denominator mean is significantly
+// non-zero (g = t²s_y²/m_y² < 1); otherwise ErrInsufficientData is
+// returned.
+func RatioCI(num, den []float64, confidence float64) (ratio float64, ci Interval, err error) {
+	if len(num) < 2 || len(den) < 2 {
+		return 0, Interval{}, ErrInsufficientData
+	}
+	mx, my := Mean(num), Mean(den)
+	if my == 0 {
+		return 0, Interval{}, ErrInsufficientData
+	}
+	sx2 := Variance(num) / float64(len(num))
+	sy2 := Variance(den) / float64(len(den))
+	// Welch-Satterthwaite degrees of freedom for the pair.
+	df := welchDF(sx2, float64(len(num)), sy2, float64(len(den)))
+	t := TQuantile(1-(1-confidence)/2, df)
+	t2 := t * t
+
+	g := t2 * sy2 / (my * my)
+	if g >= 1 {
+		return mx / my, Interval{}, ErrInsufficientData
+	}
+	a := my*my - t2*sy2
+	b := mx * my
+	c := mx*mx - t2*sx2
+	disc := b*b - a*c
+	if disc < 0 {
+		disc = 0
+	}
+	root := math.Sqrt(disc)
+	return mx / my, Interval{Lo: (b - root) / a, Hi: (b + root) / a}, nil
+}
+
+func welchDF(sx2, nx, sy2, ny float64) float64 {
+	num := (sx2 + sy2) * (sx2 + sy2)
+	den := sx2*sx2/(nx-1) + sy2*sy2/(ny-1)
+	if den == 0 {
+		return nx + ny - 2
+	}
+	return num / den
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution using Acklam's rational approximation (relative error
+// below 1.15e-9 across (0,1)).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the rational approximations.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// TQuantile returns the p-quantile of the Student-t distribution with df
+// degrees of freedom, via the Cornish-Fisher-style expansion of the normal
+// quantile (Abramowitz & Stegun 26.7.5). Accurate to ~1e-4 for df >= 3 and
+// within a few percent for df in {1,2}, which is ample for confidence
+// intervals on hundreds of samples.
+func TQuantile(p, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Exact closed forms exist for one and two degrees of freedom.
+	if df == 1 {
+		return math.Tan(math.Pi * (p - 0.5))
+	}
+	if df == 2 {
+		sign := 1.0
+		pp := p
+		if p < 0.5 {
+			sign = -1
+			pp = 1 - p
+		}
+		al := 2 * (1 - pp)
+		return sign * 2 * (1 - al) / math.Sqrt(2*al*(2-al))
+	}
+	x := NormalQuantile(p)
+	x2 := x * x
+	g1 := (x2 + 1) * x / 4
+	g2 := ((5*x2+16)*x2 + 3) * x / 96
+	g3 := (((3*x2+19)*x2+17)*x2 - 15) * x / 384
+	g4 := ((((79*x2+776)*x2+1482)*x2-1920)*x2 - 945) * x / 92160
+	return x + g1/df + g2/(df*df) + g3/(df*df*df) + g4/(df*df*df*df)
+}
+
+// Summary bundles the statistics the experiment tables report for one
+// sample of job completion times.
+type Summary struct {
+	N    int
+	Mean float64
+	P95  float64
+	Min  float64
+	Max  float64
+	Std  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	minV, maxV := xs[0], xs[0]
+	for _, x := range xs {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		P95:  Percentile(xs, 95),
+		Min:  minV,
+		Max:  maxV,
+		Std:  StdDev(xs),
+	}
+}

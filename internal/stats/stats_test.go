@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !approx(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %g, want %g", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !approx(got, want, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, want)
+	}
+	if got, want := StdDev(xs), math.Sqrt(32.0/7.0); !approx(got, want, 1e-12) {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance(single) = %g, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{-5, 15},
+		{105, 50},
+		{95, 48}, // 0.95*4 = 3.8 → 40 + 0.8*(50-40)
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !approx(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.841344746, 1.0},
+		{0.025, -1.959964},
+		{0.001, -3.090232},
+	}
+	for _, tt := range tests {
+		if got := NormalQuantile(tt.p); !approx(got, tt.want, 1e-5) {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile endpoints not infinite")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	// Reference values from standard t tables (two-sided 95% → p=0.975).
+	tests := []struct {
+		df   float64
+		p    float64
+		want float64
+		tol  float64
+	}{
+		{1, 0.975, 12.7062, 1e-3},
+		{2, 0.975, 4.30265, 1e-3},
+		{5, 0.975, 2.57058, 5e-3},
+		{10, 0.975, 2.22814, 2e-3},
+		{30, 0.975, 2.04227, 1e-3},
+		{100, 0.975, 1.98397, 1e-3},
+		{10, 0.95, 1.81246, 2e-3},
+		{10, 0.5, 0, 1e-12},
+		{10, 0.025, -2.22814, 2e-3},
+	}
+	for _, tt := range tests {
+		if got := TQuantile(tt.p, tt.df); !approx(got, tt.want, tt.tol) {
+			t.Errorf("TQuantile(%g, %g) = %g, want %g", tt.p, tt.df, got, tt.want)
+		}
+	}
+	if !math.IsNaN(TQuantile(0.975, 0)) {
+		t.Error("TQuantile with df=0 should be NaN")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 8, 12, 10, 9, 11}
+	mean, ci, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatalf("MeanCI: %v", err)
+	}
+	if !approx(mean, 10.2, 1e-9) {
+		t.Errorf("mean = %g, want 10.2", mean)
+	}
+	if !(ci.Lo < mean && mean < ci.Hi) {
+		t.Errorf("CI %v does not bracket mean %g", ci, mean)
+	}
+	// Hand computation: sd ≈ 1.3166, se ≈ 0.4163, t(9, .975) ≈ 2.262 →
+	// half-width ≈ 0.9417.
+	if hw := (ci.Hi - ci.Lo) / 2; !approx(hw, 0.9417, 5e-3) {
+		t.Errorf("half-width = %g, want ≈0.9417", hw)
+	}
+
+	if _, _, err := MeanCI([]float64{1}, 0.95); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("MeanCI(single) err = %v, want ErrInsufficientData", err)
+	}
+	if _, _, err := MeanCI(xs, 1.5); err == nil {
+		t.Error("MeanCI(confidence=1.5) should error")
+	}
+}
+
+func TestRatioCI(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	num := make([]float64, 200)
+	den := make([]float64, 200)
+	for i := range num {
+		num[i] = 30 + r.NormFloat64()*3
+		den[i] = 10 + r.NormFloat64()*1
+	}
+	ratio, ci, err := RatioCI(num, den, 0.95)
+	if err != nil {
+		t.Fatalf("RatioCI: %v", err)
+	}
+	if !approx(ratio, 3, 0.15) {
+		t.Errorf("ratio = %g, want ≈3", ratio)
+	}
+	if !(ci.Lo < ratio && ratio < ci.Hi) {
+		t.Errorf("CI %v does not bracket ratio %g", ci, ratio)
+	}
+	if ci.Hi-ci.Lo > 1 {
+		t.Errorf("CI %v implausibly wide", ci)
+	}
+
+	if _, _, err := RatioCI(num[:1], den, 0.95); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("RatioCI(short) err = %v, want ErrInsufficientData", err)
+	}
+	// Denominator indistinguishable from zero → no finite Fieller interval.
+	noisy := []float64{1, -1, 1.5, -1.5}
+	if _, _, err := RatioCI(num[:4], noisy, 0.95); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("RatioCI(zero-mean den) err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !approx(s.Mean, 3, 1e-12) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !approx(s.P95, 4.8, 1e-9) {
+		t.Errorf("P95 = %g, want 4.8", s.P95)
+	}
+	var zero Summary
+	if got := Summarize(nil); got != zero {
+		t.Errorf("Summarize(nil) = %+v, want zero", got)
+	}
+}
+
+// TestPercentileProperty checks order statistics stay within data bounds
+// and are monotone in p.
+func TestPercentileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+			minV, maxV := xs[0], xs[0]
+			for _, x := range xs {
+				minV = math.Min(minV, x)
+				maxV = math.Max(maxV, x)
+			}
+			if v < minV-1e-12 || v > maxV+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTQuantileMonotone checks t-quantiles decrease toward the normal
+// quantile as df grows.
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, df := range []float64{3, 5, 10, 30, 100, 1000} {
+		v := TQuantile(0.975, df)
+		if v >= prev {
+			t.Fatalf("TQuantile(0.975, %g) = %g, not decreasing (prev %g)", df, v, prev)
+		}
+		prev = v
+	}
+	if z := NormalQuantile(0.975); prev < z-1e-3 {
+		t.Errorf("t-quantile %g fell below normal quantile %g", prev, z)
+	}
+}

@@ -1,0 +1,470 @@
+// Package testbed assembles a full in-process Mayflower deployment over
+// the emulated datacenter network: SDN switches and controller, the
+// Flowserver running as a controller application, a nameserver, one
+// dataserver per host, and per-host clients. It is the prototype half of
+// the paper's evaluation (§6.1, §6.7) — the stand-in for the authors'
+// 13-machine Mininet testbed — and drives Figure 8's comparison of
+// Mayflower against HDFS with and without network flow scheduling.
+//
+// Everything is real: RPCs cross loopback TCP sockets, chunk data lives
+// in real files, reads stream real bytes, the Flowserver polls real
+// switch byte counters over the OpenFlow-style control protocol. Only
+// link bandwidth is emulated, by pacing each read flow at the max-min
+// fair share of the topology's links (package emunet) — the property the
+// paper obtained from Mininet's link shaping.
+package testbed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/client"
+	"github.com/mayflower-dfs/mayflower/internal/dataserver"
+	"github.com/mayflower-dfs/mayflower/internal/emunet"
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/hdfsbaseline"
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/sdn"
+	"github.com/mayflower-dfs/mayflower/internal/selection"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// Mode selects the filesystem configuration under test (Figure 8).
+type Mode int
+
+// Figure 8 modes.
+const (
+	// ModeMayflower is the full co-design: joint replica and path
+	// selection by the Flowserver.
+	ModeMayflower Mode = iota + 1
+	// ModeHDFSMayflower uses HDFS's rack-aware replica selection with
+	// Mayflower's network flow scheduler choosing the path.
+	ModeHDFSMayflower
+	// ModeHDFSECMP uses HDFS's rack-aware replica selection with ECMP
+	// paths: the conventional deployment.
+	ModeHDFSECMP
+)
+
+// String names the mode as Figure 8 labels it.
+func (m Mode) String() string {
+	switch m {
+	case ModeMayflower:
+		return "Mayflower"
+	case ModeHDFSMayflower:
+		return "HDFS-Mayflower"
+	case ModeHDFSECMP:
+		return "HDFS-ECMP"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ScaledTestbed returns a laptop-scale version of the paper's testbed: 16
+// hosts in 2 pods × 2 racks × 4 hosts with the same 2:1 edge and 8:1
+// core-to-rack oversubscription, at 64 Mbps edge links so a full sweep
+// finishes in seconds. Completion-time ratios between modes are invariant
+// to this joint (size, rate) scaling; see DESIGN.md.
+func ScaledTestbed() topology.Config {
+	edge := topology.Mbps(64)
+	return topology.Config{
+		Pods:         2,
+		RacksPerPod:  2,
+		HostsPerRack: 4,
+		AggsPerPod:   2,
+		Cores:        2,
+		EdgeLinkBps:  edge,
+		// Rack host bandwidth 1024 Mbps over two uplinks at 2:1.
+		EdgeAggLinkBps: edge,
+		// Pod host bandwidth 2048 Mbps over four agg-core links at 8:1
+		// overall.
+		AggCoreLinkBps: edge / 4,
+	}
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	Topo *topology.Topology
+	Net  *emunet.Network
+
+	mode       Mode
+	controller *sdn.Controller
+	switches   []*sdn.Switch
+	fs         *flowserver.Server
+	fsAddr     string
+	nsSvc      *nameserver.Service
+	nsStore    *kvstore.Store
+	nsSrv      *wire.Server
+	nsAddr     string
+	fsSrv      *wire.Server
+	servers    map[string]*dataserver.Server // host name → dataserver
+	serverIDs  map[topology.NodeID]string    // host node → server id
+	workDir    string
+	ownWorkDir bool
+	start      time.Time
+
+	pollStop chan struct{}
+	pollDone chan struct{}
+
+	ecmp   *selection.ECMP
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	clients map[string]*client.Client
+	rng     *rand.Rand
+	closed  bool
+}
+
+// ClusterConfig configures NewCluster.
+type ClusterConfig struct {
+	// Mode selects the Figure 8 configuration.
+	Mode Mode
+	// Topo is the emulated topology; ScaledTestbed() if zero.
+	Topo topology.Config
+	// WorkDir holds chunk stores and the nameserver database; a fresh
+	// temporary directory (removed on Close) if empty.
+	WorkDir string
+	// StatsInterval is the Flowserver's switch polling period
+	// (250 ms if zero; the scaled testbed compresses time ~8x relative
+	// to the paper's testbed, which polled at seconds granularity).
+	StatsInterval time.Duration
+	// Seed drives placement and selection randomness.
+	Seed int64
+	// MultiReplica enables §4.3 split reads (ModeMayflower only).
+	MultiReplica bool
+}
+
+// NewCluster boots a deployment and blocks until every component is
+// connected and registered.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeMayflower
+	}
+	if cfg.Topo.Pods == 0 {
+		cfg.Topo = ScaledTestbed()
+	}
+	if cfg.StatsInterval == 0 {
+		cfg.StatsInterval = 250 * time.Millisecond
+	}
+	topo, err := topology.New(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Topo:      topo,
+		Net:       emunet.New(topo),
+		mode:      cfg.Mode,
+		servers:   make(map[string]*dataserver.Server),
+		serverIDs: make(map[topology.NodeID]string),
+		clients:   make(map[string]*client.Client),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		start:     time.Now(),
+		pollStop:  make(chan struct{}),
+		pollDone:  make(chan struct{}),
+		workDir:   cfg.WorkDir,
+	}
+	if c.workDir == "" {
+		dir, err := os.MkdirTemp("", "mayflower-testbed-*")
+		if err != nil {
+			return nil, err
+		}
+		c.workDir = dir
+		c.ownWorkDir = true
+	}
+	if err := c.boot(cfg); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) boot(cfg ClusterConfig) error {
+	// SDN control plane: a switch agent per topology switch, all dialed
+	// into one controller.
+	c.controller = sdn.NewController()
+	ctlAddr, err := c.controller.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	switchNodes := append(append(c.Topo.EdgeSwitches(), c.Topo.AggSwitches()...), c.Topo.CoreSwitches()...)
+	for _, node := range switchNodes {
+		sw := sdn.NewSwitch(uint64(node))
+		if err := sw.Connect(ctlAddr.String()); err != nil {
+			return err
+		}
+		if err := c.Net.AttachSwitch(node, sw); err != nil {
+			return err
+		}
+		c.switches = append(c.switches, sw)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c.controller.Switches()) < len(switchNodes) {
+		if time.Now().After(deadline) {
+			return errors.New("testbed: switches did not connect")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Nameserver.
+	store, err := kvstore.Open(c.workDir+"/nameserver", kvstore.Options{})
+	if err != nil {
+		return err
+	}
+	c.nsStore = store
+	c.nsSvc, err = nameserver.NewService(store, rand.New(rand.NewSource(cfg.Seed+2)))
+	if err != nil {
+		return err
+	}
+	c.nsSrv = wire.NewServer()
+	if err := nameserver.RegisterRPC(c.nsSrv, c.nsSvc); err != nil {
+		return err
+	}
+	nsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go c.nsSrv.Serve(nsLn) //nolint:errcheck // Serve returns on Close
+	c.nsAddr = nsLn.Addr().String()
+
+	// Flowserver (controller application), for the modes that use it.
+	if c.mode == ModeMayflower || c.mode == ModeHDFSMayflower {
+		c.fs = flowserver.New(c.Topo, flowserver.Options{
+			MultiReplica: cfg.MultiReplica && c.mode == ModeMayflower,
+			Now:          c.nowSeconds,
+		})
+		c.fsSrv = wire.NewServer()
+		hooks := flowserver.Hooks{
+			OnAssign: func(a flowserver.Assignment) {
+				_ = c.Net.RegisterFlow(uint64(a.FlowID), a.Path)
+				c.installRules(a)
+			},
+			OnFinish: func(id flowserver.FlowID) {
+				c.Net.UnregisterFlow(uint64(id))
+			},
+		}
+		if err := flowserver.RegisterRPC(c.fsSrv, c.fs, c.Topo, hooks); err != nil {
+			return err
+		}
+		fsLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go c.fsSrv.Serve(fsLn) //nolint:errcheck // Serve returns on Close
+		c.fsAddr = fsLn.Addr().String()
+		go c.pollLoop(cfg.StatsInterval)
+	} else {
+		close(c.pollDone)
+		c.ecmp = selection.NewECMP(c.Topo)
+	}
+
+	// One dataserver per host.
+	for i, h := range c.Topo.Hosts() {
+		node := c.Topo.Node(h)
+		id := fmt.Sprintf("ds-%02d", i)
+		ds, err := dataserver.New(dataserver.Config{
+			ID:    id,
+			Root:  fmt.Sprintf("%s/%s", c.workDir, id),
+			Host:  node.Name,
+			Pod:   node.Pod,
+			Rack:  node.Rack,
+			Pacer: c.Net,
+		})
+		if err != nil {
+			return err
+		}
+		ctlLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ds.Close()
+			return err
+		}
+		dataLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ds.Close()
+			return err
+		}
+		if err := ds.Start(ctlLn, dataLn, c.nsAddr); err != nil {
+			ds.Close()
+			return err
+		}
+		c.servers[node.Name] = ds
+		c.serverIDs[h] = id
+	}
+	return nil
+}
+
+func (c *Cluster) nowSeconds() float64 { return time.Since(c.start).Seconds() }
+
+// installRules pushes the assignment's path into the switches' flow
+// tables (each switch on the path forwards the flow out of the next
+// link's port).
+func (c *Cluster) installRules(a flowserver.Assignment) {
+	for _, l := range a.Path {
+		link := c.Topo.Link(l)
+		if c.Topo.Node(link.From).Kind == topology.KindHost {
+			continue
+		}
+		_ = c.controller.InstallFlow(uint64(link.From), uint64(a.FlowID), uint32(l))
+	}
+}
+
+// pollLoop periodically collects flow byte counters from the edge
+// switches and feeds them to the Flowserver, exactly as §3.3.3 describes
+// ("flow stats are collected for only those flows that originate from
+// dataservers attached to the edge switch being queried").
+func (c *Cluster) pollLoop(interval time.Duration) {
+	defer close(c.pollDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.pollStop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		byFlow := make(map[flowserver.FlowID]float64)
+		for _, edge := range c.Topo.EdgeSwitches() {
+			stats, err := c.controller.FlowStats(ctx, uint64(edge))
+			if err != nil {
+				continue
+			}
+			for _, st := range stats {
+				id := flowserver.FlowID(st.FlowID)
+				bits := float64(st.ByteCount) * 8
+				if bits > byFlow[id] {
+					byFlow[id] = bits
+				}
+			}
+		}
+		cancel()
+		batch := make([]flowserver.FlowStat, 0, len(byFlow))
+		for id, bits := range byFlow {
+			batch = append(batch, flowserver.FlowStat{ID: id, TransferredBits: bits})
+		}
+		c.fs.UpdateFlowStats(c.nowSeconds(), batch)
+	}
+}
+
+// NameserverAddr returns the nameserver's RPC address.
+func (c *Cluster) NameserverAddr() string { return c.nsAddr }
+
+// FlowserverAddr returns the Flowserver's RPC address ("" for ECMP mode).
+func (c *Cluster) FlowserverAddr() string { return c.fsAddr }
+
+// ServerID returns the dataserver id running on a topology host.
+func (c *Cluster) ServerID(h topology.NodeID) string { return c.serverIDs[h] }
+
+// Client returns (creating on first use) a filesystem client running on
+// the given topology host, configured for the cluster's mode.
+func (c *Cluster) Client(host topology.NodeID) (*client.Client, error) {
+	name := c.Topo.Node(host).Name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.clients[name]; ok {
+		return cl, nil
+	}
+	opts := client.Options{
+		NameserverAddr: c.nsAddr,
+		Host:           name,
+		Rand:           rand.New(rand.NewSource(c.rng.Int63())),
+	}
+	switch c.mode {
+	case ModeMayflower:
+		opts.FlowserverAddr = c.fsAddr
+	case ModeHDFSMayflower:
+		opts.FlowserverAddr = c.fsAddr
+		opts.PickReplica = hdfsbaseline.RackAwarePicker(name, hdfsbaseline.NameLocator, opts.Rand)
+	case ModeHDFSECMP:
+		opts.PickReplica = hdfsbaseline.RackAwarePicker(name, hdfsbaseline.NameLocator, opts.Rand)
+		opts.AssignFlow = func(replicaHost string, _ int64) (uint64, func()) {
+			return c.assignECMPFlow(replicaHost, name)
+		}
+	}
+	cl, err := client.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.clients[name] = cl
+	return cl, nil
+}
+
+// assignECMPFlow registers an ECMP-selected path for a transfer from
+// replicaHost to clientHost with the emulated network.
+func (c *Cluster) assignECMPFlow(replicaHost, clientHost string) (uint64, func()) {
+	var src, dst topology.NodeID
+	var foundSrc, foundDst bool
+	for _, h := range c.Topo.Hosts() {
+		switch c.Topo.Node(h).Name {
+		case replicaHost:
+			src, foundSrc = h, true
+		case clientHost:
+			dst, foundDst = h, true
+		}
+	}
+	if !foundSrc || !foundDst || src == dst {
+		return 0, nil
+	}
+	id := c.nextID.Add(1)
+	path, err := c.ecmp.SelectPath(src, dst, id)
+	if err != nil {
+		return 0, nil
+	}
+	if err := c.Net.RegisterFlow(id, path); err != nil {
+		return 0, nil
+	}
+	return id, func() { c.Net.UnregisterFlow(id) }
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	clients := make([]*client.Client, 0, len(c.clients))
+	for _, cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.mu.Unlock()
+
+	if c.fs != nil {
+		close(c.pollStop)
+		<-c.pollDone
+	}
+	for _, cl := range clients {
+		cl.Close()
+	}
+	for _, ds := range c.servers {
+		ds.Close()
+	}
+	if c.fsSrv != nil {
+		c.fsSrv.Close()
+	}
+	if c.nsSrv != nil {
+		c.nsSrv.Close()
+	}
+	if c.nsStore != nil {
+		c.nsStore.Close()
+	}
+	var err error
+	if c.controller != nil {
+		err = c.controller.Close()
+	}
+	for _, sw := range c.switches {
+		sw.Close()
+	}
+	if c.ownWorkDir {
+		os.RemoveAll(c.workDir)
+	}
+	return err
+}

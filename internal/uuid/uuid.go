@@ -1,0 +1,91 @@
+// Package uuid generates and parses RFC 4122 version-4 (random) UUIDs.
+// Mayflower names each stored file by a UUID: the dataserver keeps one
+// directory per file UUID (§3.3.2).
+package uuid
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// UUID is a 128-bit RFC 4122 identifier.
+type UUID [16]byte
+
+// ErrInvalid is returned when parsing a malformed UUID string.
+var ErrInvalid = errors.New("uuid: invalid format")
+
+// New returns a fresh random (version 4, variant 10) UUID.
+func New() (UUID, error) {
+	var u UUID
+	if _, err := rand.Read(u[:]); err != nil {
+		return UUID{}, fmt.Errorf("uuid: %w", err)
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // variant 10
+	return u, nil
+}
+
+// MustNew returns a fresh UUID and panics if the system's entropy source
+// fails, which is unrecoverable at startup.
+func MustNew() UUID {
+	u, err := New()
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String formats the UUID in the canonical 8-4-4-4-12 form.
+func (u UUID) String() string {
+	var buf [36]byte
+	hex.Encode(buf[0:8], u[0:4])
+	buf[8] = '-'
+	hex.Encode(buf[9:13], u[4:6])
+	buf[13] = '-'
+	hex.Encode(buf[14:18], u[6:8])
+	buf[18] = '-'
+	hex.Encode(buf[19:23], u[8:10])
+	buf[23] = '-'
+	hex.Encode(buf[24:36], u[10:16])
+	return string(buf[:])
+}
+
+// IsZero reports whether the UUID is the all-zero value.
+func (u UUID) IsZero() bool { return u == UUID{} }
+
+// Parse decodes a canonical UUID string.
+func Parse(s string) (UUID, error) {
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return UUID{}, ErrInvalid
+	}
+	var u UUID
+	segments := []struct {
+		src      string
+		dstStart int
+	}{
+		{s[0:8], 0}, {s[9:13], 4}, {s[14:18], 6}, {s[19:23], 8}, {s[24:36], 10},
+	}
+	for _, seg := range segments {
+		b, err := hex.DecodeString(seg.src)
+		if err != nil {
+			return UUID{}, ErrInvalid
+		}
+		copy(u[seg.dstStart:], b)
+	}
+	return u, nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (u UUID) MarshalText() ([]byte, error) { return []byte(u.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (u *UUID) UnmarshalText(b []byte) error {
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*u = parsed
+	return nil
+}

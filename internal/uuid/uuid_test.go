@@ -1,0 +1,109 @@
+package uuid
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewVersionAndVariant(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		u, err := New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := u[6] >> 4; v != 4 {
+			t.Fatalf("version = %d, want 4", v)
+		}
+		if v := u[8] >> 6; v != 2 {
+			t.Fatalf("variant bits = %b, want 10", v)
+		}
+		if u.IsZero() {
+			t.Fatal("generated zero UUID")
+		}
+	}
+}
+
+func TestNewUnique(t *testing.T) {
+	seen := make(map[UUID]bool)
+	for i := 0; i < 1000; i++ {
+		u := MustNew()
+		if seen[u] {
+			t.Fatalf("duplicate UUID %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		u := MustNew()
+		s := u.String()
+		if len(s) != 36 || strings.Count(s, "-") != 4 {
+			t.Fatalf("malformed string %q", s)
+		}
+		parsed, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if parsed != u {
+			t.Fatalf("round trip %s != %s", parsed, u)
+		}
+	}
+}
+
+func TestParseKnownValue(t *testing.T) {
+	const s = "6ba7b810-9dad-11d1-80b4-00c04fd430c8"
+	u, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.String(); got != s {
+		t.Errorf("String() = %q, want %q", got, s)
+	}
+	if u[0] != 0x6b || u[15] != 0xc8 {
+		t.Errorf("bytes decoded incorrectly: % x", u[:])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"6ba7b810",
+		"6ba7b810-9dad-11d1-80b4-00c04fd430c",  // too short
+		"6ba7b8109dad-11d1-80b4-00c04fd430c88", // missing dash
+		"6ba7b810-9dad-11d1-80b4-00c04fd430zz", // non-hex
+		strings.Repeat("x", 36),
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Parse(%q) err = %v, want ErrInvalid", s, err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	u := MustNew()
+	b, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back UUID
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != u {
+		t.Fatalf("JSON round trip %s != %s", back, u)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &back); err == nil {
+		t.Error("unmarshal of invalid UUID succeeded")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var z UUID
+	if !z.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+}

@@ -1,0 +1,393 @@
+// Package wire is a small request/response RPC framework over TCP, the
+// stand-in for the Apache Thrift control-message transport the Mayflower
+// prototype used (§5 of the paper).
+//
+// Messages are length-prefixed JSON frames. A server registers named
+// handlers; a client multiplexes concurrent calls over one connection and
+// honours context deadlines. Remote handler failures surface as
+// *RemoteError so callers can distinguish transport problems from
+// application errors.
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single message; control messages are small, so this
+// is purely a defense against corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// ErrClosed is returned for operations on a closed client or server.
+var ErrClosed = errors.New("wire: closed")
+
+// RemoteError is an error returned by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote %s: %s", e.Method, e.Msg)
+}
+
+type request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+type response struct {
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func writeFrame(w io.Writer, mu *sync.Mutex, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Handler processes one request's parameters and returns a result to be
+// JSON-encoded, or an error that is reported to the caller.
+type Handler func(ctx context.Context, params json.RawMessage) (any, error)
+
+// Server dispatches wire requests to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs a handler for a method name. Registering a duplicate
+// method or registering after Serve has started is an error.
+func (s *Server) Register(method string, h Handler) error {
+	if method == "" || h == nil {
+		return errors.New("wire: empty method or nil handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		return fmt.Errorf("wire: duplicate method %q", method)
+	}
+	s.handlers[method] = h
+	return nil
+}
+
+// Serve accepts connections on ln until the server is closed. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until closed.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	// LIFO: cancel in-flight handlers first, then wait for them to drain.
+	defer handlerWG.Wait()
+	defer cancel()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[req.Method]
+		s.mu.Unlock()
+
+		handlerWG.Add(1)
+		go func(req request) {
+			defer handlerWG.Done()
+			resp := response{ID: req.ID}
+			if h == nil {
+				resp.Error = fmt.Sprintf("unknown method %q", req.Method)
+			} else if result, err := h(ctx, req.Params); err != nil {
+				resp.Error = err.Error()
+			} else if result != nil {
+				body, err := json.Marshal(result)
+				if err != nil {
+					resp.Error = fmt.Sprintf("marshal result: %v", err)
+				} else {
+					resp.Result = body
+				}
+			}
+			// A write failure means the connection is gone; the read
+			// loop will notice and clean up.
+			_ = writeFrame(conn, &writeMu, &resp)
+		}(req)
+	}
+}
+
+// Addr returns the listener address, if serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, closes every connection, and waits for
+// in-flight handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a wire RPC client multiplexing calls over one connection.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	nextID  uint64
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a wire server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		var resp response
+		if err := readFrame(c.conn, &resp); err != nil {
+			c.failAll(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+// Call invokes method with params (JSON-encoded) and decodes the result
+// into result (unless nil). It respects ctx cancellation and deadlines.
+func (c *Client) Call(ctx context.Context, method string, params, result any) error {
+	var raw json.RawMessage
+	if params != nil {
+		body, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("wire: marshal params: %w", err)
+		}
+		raw = body
+	}
+
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	err := writeFrame(c.conn, &c.writeMu, &request{ID: id, Method: method, Params: raw})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ctx.Err()
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return err
+		}
+		if resp.Error != "" {
+			return &RemoteError{Method: method, Msg: resp.Error}
+		}
+		if result != nil {
+			if len(resp.Result) == 0 {
+				return fmt.Errorf("wire: %s returned no result", method)
+			}
+			if err := json.Unmarshal(resp.Result, result); err != nil {
+				return fmt.Errorf("wire: decode result: %w", err)
+			}
+		}
+		return nil
+	}
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

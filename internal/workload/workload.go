@@ -1,0 +1,365 @@
+// Package workload synthesizes the read-dominant traffic matrix of the
+// Mayflower evaluation (§6.1.1):
+//
+//   - job arrivals follow a Poisson process with a per-server rate λ;
+//   - file read popularity follows a Zipf distribution with skew ρ = 1.1;
+//   - clients are placed with the staggered probability of Hedera: in the
+//     same rack as the primary replica with probability R, in another rack
+//     of the same pod with probability P, and in a different pod with
+//     probability O = 1 − R − P;
+//   - replicas respect fault domains: the primary is placed uniformly at
+//     random, the second replica in another rack of the same pod, and the
+//     third in a different pod.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s via an inverted, precomputed CDF. Unlike the standard
+// library's rejection sampler it is exact for small n and deterministic in
+// the number of random draws per sample (one), which keeps experiment
+// traces reproducible across runs.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf creates a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(rng *rand.Rand, s float64, n int) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: Zipf needs n >= 1, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: Zipf needs s > 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// Sample returns a rank in [0, n), rank 0 being the most popular.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Locality is the staggered client-placement distribution (R, P, O):
+// probability of the client sharing the primary replica's rack, sharing
+// only its pod, or being in another pod.
+type Locality struct {
+	SameRack float64 // R
+	SamePod  float64 // P
+	OtherPod float64 // O
+}
+
+// Paper locality mixes used in Figures 4-8.
+var (
+	LocalityRackHeavy = Locality{SameRack: 0.5, SamePod: 0.3, OtherPod: 0.2}
+	LocalityPodHeavy  = Locality{SameRack: 0.3, SamePod: 0.5, OtherPod: 0.2}
+	LocalityCoreHeavy = Locality{SameRack: 0.2, SamePod: 0.3, OtherPod: 0.5}
+	LocalityUniform   = Locality{SameRack: 1.0 / 3, SamePod: 1.0 / 3, OtherPod: 1.0 / 3}
+)
+
+// Validate reports whether the probabilities are non-negative and sum to 1.
+func (l Locality) Validate() error {
+	if l.SameRack < 0 || l.SamePod < 0 || l.OtherPod < 0 {
+		return fmt.Errorf("workload: negative locality probability %+v", l)
+	}
+	if s := l.SameRack + l.SamePod + l.OtherPod; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("workload: locality probabilities sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// String renders the distribution as the paper writes it, e.g. "(0.5,0.3,0.2)".
+func (l Locality) String() string {
+	return fmt.Sprintf("(%.2g,%.2g,%.2g)", l.SameRack, l.SamePod, l.OtherPod)
+}
+
+// Placement selects replica hosts for new files.
+type Placement int
+
+const (
+	// PlacementPaperEval is the §6.1.1 strategy: primary uniform at
+	// random, second replica in another rack of the same pod, third in a
+	// different pod.
+	PlacementPaperEval Placement = iota + 1
+	// PlacementRackPair is the §5 prototype default ("HDFS rack-aware"):
+	// two replicas in the same rack, further replicas in other randomly
+	// selected racks.
+	PlacementRackPair
+)
+
+// PlaceReplicas chooses hosts for a file's replicas. The first host is the
+// primary. All replicas land on distinct hosts, and (for PlacementPaperEval)
+// in distinct racks with at least one replica outside the primary's pod.
+func PlaceReplicas(topo *topology.Topology, rng *rand.Rand, strategy Placement, n int) ([]topology.NodeID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: replication factor must be >= 1, got %d", n)
+	}
+	if n > topo.NumHosts() {
+		return nil, fmt.Errorf("workload: replication factor %d exceeds %d hosts", n, topo.NumHosts())
+	}
+	cfg := topo.Config()
+	hosts := topo.Hosts()
+	primary := hosts[rng.Intn(len(hosts))]
+	replicas := []topology.NodeID{primary}
+	used := map[topology.NodeID]bool{primary: true}
+	usedRack := map[[2]int]bool{{topo.Node(primary).Pod, topo.Node(primary).Rack}: true}
+
+	pick := func(candidates []topology.NodeID) (topology.NodeID, bool) {
+		var free []topology.NodeID
+		for _, h := range candidates {
+			if !used[h] {
+				free = append(free, h)
+			}
+		}
+		if len(free) == 0 {
+			return 0, false
+		}
+		return free[rng.Intn(len(free))], true
+	}
+
+	hostsIn := func(pod, rack int) []topology.NodeID {
+		out := make([]topology.NodeID, 0, cfg.HostsPerRack)
+		for h := 0; h < cfg.HostsPerRack; h++ {
+			out = append(out, topo.HostAt(pod, rack, h))
+		}
+		return out
+	}
+
+	switch strategy {
+	case PlacementPaperEval:
+		for i := 1; i < n; i++ {
+			var cand []topology.NodeID
+			p := topo.Node(primary).Pod
+			if i == 1 && cfg.RacksPerPod > 1 {
+				// Same pod, different rack.
+				for r := 0; r < cfg.RacksPerPod; r++ {
+					if r == topo.Node(primary).Rack {
+						continue
+					}
+					cand = append(cand, hostsIn(p, r)...)
+				}
+			} else if cfg.Pods > 1 {
+				// Different pod, previously unused rack preferred.
+				for pp := 0; pp < cfg.Pods; pp++ {
+					if pp == p {
+						continue
+					}
+					for r := 0; r < cfg.RacksPerPod; r++ {
+						if usedRack[[2]int{pp, r}] {
+							continue
+						}
+						cand = append(cand, hostsIn(pp, r)...)
+					}
+				}
+			}
+			if len(cand) == 0 {
+				cand = hosts // degenerate topologies: fall back to anywhere
+			}
+			h, ok := pick(cand)
+			if !ok {
+				return nil, fmt.Errorf("workload: no host available for replica %d", i)
+			}
+			replicas = append(replicas, h)
+			used[h] = true
+			usedRack[[2]int{topo.Node(h).Pod, topo.Node(h).Rack}] = true
+		}
+	case PlacementRackPair:
+		for i := 1; i < n; i++ {
+			var cand []topology.NodeID
+			np := topo.Node(primary)
+			if i == 1 && cfg.HostsPerRack > 1 {
+				cand = hostsIn(np.Pod, np.Rack) // same rack as primary
+			} else {
+				for pp := 0; pp < cfg.Pods; pp++ {
+					for r := 0; r < cfg.RacksPerPod; r++ {
+						if pp == np.Pod && r == np.Rack {
+							continue
+						}
+						if usedRack[[2]int{pp, r}] {
+							continue
+						}
+						cand = append(cand, hostsIn(pp, r)...)
+					}
+				}
+			}
+			if len(cand) == 0 {
+				cand = hosts
+			}
+			h, ok := pick(cand)
+			if !ok {
+				return nil, fmt.Errorf("workload: no host available for replica %d", i)
+			}
+			replicas = append(replicas, h)
+			used[h] = true
+			usedRack[[2]int{topo.Node(h).Pod, topo.Node(h).Rack}] = true
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown placement strategy %d", strategy)
+	}
+	return replicas, nil
+}
+
+// PlaceClient picks a client host for a read of a file whose primary
+// replica lives on primary, following the staggered locality distribution.
+// The client is never the primary host itself (the paper ignores the fully
+// co-located case "due to lack of network activity").
+func PlaceClient(topo *topology.Topology, rng *rand.Rand, loc Locality, primary topology.NodeID) topology.NodeID {
+	cfg := topo.Config()
+	np := topo.Node(primary)
+	u := rng.Float64()
+
+	var cand []topology.NodeID
+	switch {
+	case u < loc.SameRack && cfg.HostsPerRack > 1:
+		for h := 0; h < cfg.HostsPerRack; h++ {
+			if c := topo.HostAt(np.Pod, np.Rack, h); c != primary {
+				cand = append(cand, c)
+			}
+		}
+	case u < loc.SameRack+loc.SamePod && cfg.RacksPerPod > 1:
+		for r := 0; r < cfg.RacksPerPod; r++ {
+			if r == np.Rack {
+				continue
+			}
+			for h := 0; h < cfg.HostsPerRack; h++ {
+				cand = append(cand, topo.HostAt(np.Pod, r, h))
+			}
+		}
+	default:
+		for p := 0; p < cfg.Pods; p++ {
+			if p == np.Pod {
+				continue
+			}
+			for r := 0; r < cfg.RacksPerPod; r++ {
+				for h := 0; h < cfg.HostsPerRack; h++ {
+					cand = append(cand, topo.HostAt(p, r, h))
+				}
+			}
+		}
+	}
+	if len(cand) == 0 {
+		// Degenerate single-pod/single-rack topologies: any other host.
+		for _, h := range topo.Hosts() {
+			if h != primary {
+				cand = append(cand, h)
+			}
+		}
+		if len(cand) == 0 {
+			return primary
+		}
+	}
+	return cand[rng.Intn(len(cand))]
+}
+
+// File is a stored file in the synthetic catalog.
+type File struct {
+	// Index is the file's position in the catalog (also its Zipf rank).
+	Index int
+	// SizeBits is the read size for a job on this file.
+	SizeBits float64
+	// Replicas holds the replica hosts; Replicas[0] is the primary.
+	Replicas []topology.NodeID
+}
+
+// Catalog is a set of placed files.
+type Catalog struct {
+	Files []File
+}
+
+// CatalogConfig configures NewCatalog.
+type CatalogConfig struct {
+	NumFiles    int
+	SizeBits    float64 // per-file read size (256 MB blocks in the paper)
+	Replication int
+	Placement   Placement
+}
+
+// NewCatalog creates and places a catalog of files.
+func NewCatalog(topo *topology.Topology, rng *rand.Rand, cfg CatalogConfig) (*Catalog, error) {
+	if cfg.NumFiles < 1 {
+		return nil, fmt.Errorf("workload: NumFiles must be >= 1, got %d", cfg.NumFiles)
+	}
+	if cfg.SizeBits <= 0 {
+		return nil, fmt.Errorf("workload: SizeBits must be > 0, got %g", cfg.SizeBits)
+	}
+	c := &Catalog{Files: make([]File, cfg.NumFiles)}
+	for i := range c.Files {
+		replicas, err := PlaceReplicas(topo, rng, cfg.Placement, cfg.Replication)
+		if err != nil {
+			return nil, err
+		}
+		c.Files[i] = File{Index: i, SizeBits: cfg.SizeBits, Replicas: replicas}
+	}
+	return c, nil
+}
+
+// Job is one read request: at Time, the client at Client reads file
+// FileIndex in full.
+type Job struct {
+	ID        int
+	Time      float64
+	Client    topology.NodeID
+	FileIndex int
+}
+
+// TraceConfig configures Generate.
+type TraceConfig struct {
+	// LambdaPerServer is the Poisson job arrival rate per server per
+	// second; the system-wide rate is LambdaPerServer * NumHosts.
+	LambdaPerServer float64
+	// NumJobs is the number of jobs to generate.
+	NumJobs int
+	// ZipfSkew is the popularity skew (the paper uses ρ = 1.1).
+	ZipfSkew float64
+	// Locality is the staggered client-placement distribution.
+	Locality Locality
+}
+
+// Generate produces a job trace over the catalog: Poisson arrivals,
+// Zipf-popular files, staggered client placement relative to each file's
+// primary replica.
+func Generate(topo *topology.Topology, rng *rand.Rand, cat *Catalog, cfg TraceConfig) ([]Job, error) {
+	if err := cfg.Locality.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LambdaPerServer <= 0 {
+		return nil, fmt.Errorf("workload: LambdaPerServer must be > 0, got %g", cfg.LambdaPerServer)
+	}
+	if cfg.NumJobs < 0 {
+		return nil, fmt.Errorf("workload: NumJobs must be >= 0, got %d", cfg.NumJobs)
+	}
+	zipf, err := NewZipf(rng, cfg.ZipfSkew, len(cat.Files))
+	if err != nil {
+		return nil, err
+	}
+	systemRate := cfg.LambdaPerServer * float64(topo.NumHosts())
+	jobs := make([]Job, 0, cfg.NumJobs)
+	var now float64
+	for i := 0; i < cfg.NumJobs; i++ {
+		now += rng.ExpFloat64() / systemRate
+		file := &cat.Files[zipf.Sample()]
+		client := PlaceClient(topo, rng, cfg.Locality, file.Replicas[0])
+		jobs = append(jobs, Job{ID: i, Time: now, Client: client, FileIndex: file.Index})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(topology.PaperTestbed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(rng, 1.1, 0); err == nil {
+		t.Error("NewZipf(n=0) should error")
+	}
+	if _, err := NewZipf(rng, 0, 10); err == nil {
+		t.Error("NewZipf(s=0) should error")
+	}
+	z, err := NewZipf(rng, 1.1, 10)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	if z.N() != 10 {
+		t.Errorf("N = %d, want 10", z.N())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 1000
+	z, err := NewZipf(rng, 1.1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Sample()
+		if r < 0 || r >= n {
+			t.Fatalf("sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Theoretical P(rank 0) = 1 / H_{n,1.1} ≈ 1/9.01 ≈ 0.111 for n=1000.
+	var h float64
+	for k := 1; k <= n; k++ {
+		h += 1 / math.Pow(float64(k), 1.1)
+	}
+	want := 1 / h
+	got := float64(counts[0]) / draws
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(rank 0) = %.4f, want ≈ %.4f", got, want)
+	}
+	// Monotone-ish popularity: top rank strictly dominates rank 10.
+	if counts[0] <= counts[10] {
+		t.Errorf("rank 0 count %d <= rank 10 count %d", counts[0], counts[10])
+	}
+}
+
+func TestLocalityValidate(t *testing.T) {
+	for _, l := range []Locality{LocalityRackHeavy, LocalityPodHeavy, LocalityCoreHeavy, LocalityUniform} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", l, err)
+		}
+	}
+	if err := (Locality{SameRack: 0.5, SamePod: 0.6, OtherPod: -0.1}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := (Locality{SameRack: 0.5, SamePod: 0.3, OtherPod: 0.3}).Validate(); err == nil {
+		t.Error("sum != 1 accepted")
+	}
+	if got, want := LocalityRackHeavy.String(), "(0.5,0.3,0.2)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPlaceReplicasPaperEval(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		reps, err := PlaceReplicas(topo, rng, PlacementPaperEval, 3)
+		if err != nil {
+			t.Fatalf("PlaceReplicas: %v", err)
+		}
+		if len(reps) != 3 {
+			t.Fatalf("got %d replicas", len(reps))
+		}
+		// Distinct hosts and racks.
+		seen := make(map[topology.NodeID]bool)
+		for _, r := range reps {
+			if seen[r] {
+				t.Fatalf("duplicate replica host %v", r)
+			}
+			seen[r] = true
+		}
+		if topo.SameRack(reps[0], reps[1]) {
+			t.Fatal("second replica in primary's rack")
+		}
+		if !topo.SamePod(reps[0], reps[1]) {
+			t.Fatal("second replica not in primary's pod")
+		}
+		if topo.SamePod(reps[0], reps[2]) {
+			t.Fatal("third replica in primary's pod")
+		}
+	}
+}
+
+func TestPlaceReplicasRackPair(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		reps, err := PlaceReplicas(topo, rng, PlacementRackPair, 3)
+		if err != nil {
+			t.Fatalf("PlaceReplicas: %v", err)
+		}
+		if !topo.SameRack(reps[0], reps[1]) || reps[0] == reps[1] {
+			t.Fatal("first two replicas not distinct hosts of the same rack")
+		}
+		if topo.SameRack(reps[0], reps[2]) {
+			t.Fatal("third replica in the primary rack")
+		}
+	}
+}
+
+func TestPlaceReplicasErrors(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := PlaceReplicas(topo, rng, PlacementPaperEval, 0); err == nil {
+		t.Error("replication 0 accepted")
+	}
+	if _, err := PlaceReplicas(topo, rng, PlacementPaperEval, topo.NumHosts()+1); err == nil {
+		t.Error("replication > hosts accepted")
+	}
+	if _, err := PlaceReplicas(topo, rng, Placement(99), 3); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestPlaceClientDistribution(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(6))
+	primary := topo.HostAt(1, 2, 3)
+	loc := LocalityRackHeavy
+
+	const trials = 20000
+	var rack, pod, other int
+	for i := 0; i < trials; i++ {
+		c := PlaceClient(topo, rng, loc, primary)
+		if c == primary {
+			t.Fatal("client placed on the primary host")
+		}
+		switch {
+		case topo.SameRack(c, primary):
+			rack++
+		case topo.SamePod(c, primary):
+			pod++
+		default:
+			other++
+		}
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"same rack", float64(rack) / trials, 0.5},
+		{"same pod", float64(pod) / trials, 0.3},
+		{"other pod", float64(other) / trials, 0.2},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.02 {
+			t.Errorf("%s fraction = %.3f, want %.1f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestNewCatalog(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(7))
+	cat, err := NewCatalog(topo, rng, CatalogConfig{
+		NumFiles:    50,
+		SizeBits:    256 * 8e6,
+		Replication: 3,
+		Placement:   PlacementPaperEval,
+	})
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	if len(cat.Files) != 50 {
+		t.Fatalf("got %d files", len(cat.Files))
+	}
+	for i, f := range cat.Files {
+		if f.Index != i {
+			t.Errorf("file %d Index = %d", i, f.Index)
+		}
+		if len(f.Replicas) != 3 {
+			t.Errorf("file %d has %d replicas", i, len(f.Replicas))
+		}
+		if f.SizeBits != 256*8e6 {
+			t.Errorf("file %d size = %g", i, f.SizeBits)
+		}
+	}
+
+	if _, err := NewCatalog(topo, rng, CatalogConfig{NumFiles: 0, SizeBits: 1, Replication: 3, Placement: PlacementPaperEval}); err == nil {
+		t.Error("NumFiles=0 accepted")
+	}
+	if _, err := NewCatalog(topo, rng, CatalogConfig{NumFiles: 1, SizeBits: 0, Replication: 3, Placement: PlacementPaperEval}); err == nil {
+		t.Error("SizeBits=0 accepted")
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(8))
+	cat, err := NewCatalog(topo, rng, CatalogConfig{
+		NumFiles: 100, SizeBits: 1e6, Replication: 3, Placement: PlacementPaperEval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lambda = 0.07
+	jobs, err := Generate(topo, rng, cat, TraceConfig{
+		LambdaPerServer: lambda,
+		NumJobs:         5000,
+		ZipfSkew:        1.1,
+		Locality:        LocalityRackHeavy,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(jobs) != 5000 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	prev := 0.0
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Fatalf("job %d ID = %d", i, j.ID)
+		}
+		if j.Time < prev {
+			t.Fatalf("job %d time %g before previous %g", i, j.Time, prev)
+		}
+		prev = j.Time
+		if j.FileIndex < 0 || j.FileIndex >= len(cat.Files) {
+			t.Fatalf("job %d file index %d out of range", i, j.FileIndex)
+		}
+		if cat.Files[j.FileIndex].Replicas[0] == j.Client {
+			t.Fatalf("job %d client co-located with primary", i)
+		}
+	}
+	// Mean inter-arrival should be ≈ 1/(λ·64) ≈ 0.2232 s.
+	meanGap := jobs[len(jobs)-1].Time / float64(len(jobs)-1)
+	want := 1 / (lambda * float64(topo.NumHosts()))
+	if math.Abs(meanGap-want)/want > 0.1 {
+		t.Errorf("mean inter-arrival = %g, want ≈ %g", meanGap, want)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	topo := testTopo(t)
+	rng := rand.New(rand.NewSource(9))
+	cat, err := NewCatalog(topo, rng, CatalogConfig{
+		NumFiles: 5, SizeBits: 1e6, Replication: 3, Placement: PlacementPaperEval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := TraceConfig{LambdaPerServer: 0.07, NumJobs: 10, ZipfSkew: 1.1, Locality: LocalityRackHeavy}
+
+	bad := base
+	bad.LambdaPerServer = 0
+	if _, err := Generate(topo, rng, cat, bad); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	bad = base
+	bad.NumJobs = -1
+	if _, err := Generate(topo, rng, cat, bad); err == nil {
+		t.Error("NumJobs<0 accepted")
+	}
+	bad = base
+	bad.Locality = Locality{SameRack: 2}
+	if _, err := Generate(topo, rng, cat, bad); err == nil {
+		t.Error("bad locality accepted")
+	}
+	bad = base
+	bad.ZipfSkew = -1
+	if _, err := Generate(topo, rng, cat, bad); err == nil {
+		t.Error("bad zipf skew accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo := testTopo(t)
+	gen := func() []Job {
+		rng := rand.New(rand.NewSource(42))
+		cat, err := NewCatalog(topo, rng, CatalogConfig{
+			NumFiles: 20, SizeBits: 1e6, Replication: 3, Placement: PlacementPaperEval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := Generate(topo, rng, cat, TraceConfig{
+			LambdaPerServer: 0.07, NumJobs: 100, ZipfSkew: 1.1, Locality: LocalityUniform,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

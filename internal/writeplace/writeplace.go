@@ -1,0 +1,57 @@
+// Package writeplace implements Sinbad-like, network-aware replica
+// placement for writes as a collaboration between the nameserver and the
+// Flowserver — the extension §3.3 of the Mayflower paper sketches: "it
+// would be relatively straightforward to implement a Sinbad-like replica
+// placement strategy by having the nameserver make the placement decision
+// collaboratively with the Flowserver."
+//
+// The FlowAware scorer plugs into nameserver.Service.SetPlacementScorer:
+// when the nameserver places a new file's replicas, each candidate
+// dataserver is scored by the Flowserver's estimate of the bandwidth a
+// new flow *into* that host would get across the edge tier. Candidates
+// behind congested downlinks or aggregation links score low and are
+// avoided, while the nameserver's fault-domain constraints (distinct
+// racks, pod spreading) continue to apply unchanged.
+package writeplace
+
+import (
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// FlowAware scores placement candidates by the Flowserver's ingress
+// bandwidth estimate for their hosts.
+type FlowAware struct {
+	fs *flowserver.Server
+
+	mu      sync.Mutex
+	hosts   map[string]topology.NodeID
+	unknown float64
+}
+
+var _ nameserver.PlacementScorer = (*FlowAware)(nil)
+
+// New creates a scorer over a Flowserver and its topology.
+func New(fs *flowserver.Server, topo *topology.Topology) *FlowAware {
+	hosts := make(map[string]topology.NodeID, topo.NumHosts())
+	for _, h := range topo.Hosts() {
+		hosts[topo.Node(h).Name] = h
+	}
+	return &FlowAware{fs: fs, hosts: hosts}
+}
+
+// Score returns the estimated ingress bandwidth share for the candidate's
+// host. Candidates on hosts the topology does not know score zero, so
+// they are only chosen when nothing better exists.
+func (f *FlowAware) Score(si nameserver.ServerInfo) float64 {
+	f.mu.Lock()
+	h, ok := f.hosts[si.Host]
+	f.mu.Unlock()
+	if !ok {
+		return f.unknown
+	}
+	return f.fs.EstimateIngressShare(h)
+}

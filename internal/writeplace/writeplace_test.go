@@ -1,0 +1,127 @@
+package writeplace
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// setup builds a 2-pod topology, a Flowserver, a nameserver with one
+// dataserver per host, and the collaborative scorer.
+func setup(t *testing.T) (*topology.Topology, *flowserver.Server, *nameserver.Service) {
+	t.Helper()
+	topo, err := topology.New(topology.Config{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 2,
+		EdgeLinkBps: 100, EdgeAggLinkBps: 100, AggCoreLinkBps: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flowserver.New(topo, flowserver.Options{})
+
+	store, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	svc, err := nameserver.NewService(store, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range topo.Hosts() {
+		node := topo.Node(h)
+		err := svc.RegisterServer(nameserver.ServerInfo{
+			ID:          fmt.Sprintf("ds-%02d", i),
+			ControlAddr: fmt.Sprintf("10.0.0.%d:1", i),
+			Host:        node.Name,
+			Pod:         node.Pod,
+			Rack:        node.Rack,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.SetPlacementScorer(New(fs, topo))
+	return topo, fs, svc
+}
+
+func TestEstimateIngressShareIdle(t *testing.T) {
+	topo, fs, _ := setup(t)
+	h := topo.HostAt(0, 0, 0)
+	// Idle network: the share is the full downlink capacity.
+	if got := fs.EstimateIngressShare(h); got != 100 {
+		t.Errorf("idle ingress share = %g, want 100", got)
+	}
+}
+
+func TestScorerAvoidsCongestedHost(t *testing.T) {
+	topo, fs, svc := setup(t)
+
+	// Congest one specific host's downlink: three reads converge on it.
+	victim := topo.HostAt(0, 0, 0)
+	for i := 0; i < 3; i++ {
+		src := topo.HostAt(1, i%2, i%2)
+		if _, err := fs.SelectPath(victim, src, 1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.EstimateIngressShare(victim); got >= 100 {
+		t.Fatalf("congested ingress share = %g, want < 100", got)
+	}
+
+	// The victim host must never be chosen as a primary now.
+	victimName := topo.Node(victim).Name
+	for i := 0; i < 60; i++ {
+		fi, err := svc.Create(fmt.Sprintf("file-%d", i), nameserver.CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Replicas[0].Host == victimName {
+			t.Fatalf("file %d placed its primary on the congested host", i)
+		}
+	}
+}
+
+func TestScorerKeepsFaultDomains(t *testing.T) {
+	topo, _, svc := setup(t)
+	byID := make(map[string]nameserver.ServerInfo)
+	for _, si := range svc.Servers() {
+		byID[si.ID] = si
+	}
+	_ = topo
+	for i := 0; i < 50; i++ {
+		fi, err := svc.Create(fmt.Sprintf("fd-%d", i), nameserver.CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0 := byID[fi.Replicas[0].ServerID]
+		p1 := byID[fi.Replicas[1].ServerID]
+		p2 := byID[fi.Replicas[2].ServerID]
+		if !(p0.Pod == p1.Pod && p0.Rack == p1.Rack) {
+			t.Fatal("rack-pair constraint violated under collaborative placement")
+		}
+		if p2.Pod == p0.Pod && p2.Rack == p0.Rack {
+			t.Fatal("third replica landed in the primary rack")
+		}
+	}
+}
+
+func TestScorerUnknownHost(t *testing.T) {
+	_, fs, _ := setup(t)
+	topo2, err := topology.New(topology.Config{
+		Pods: 1, RacksPerPod: 1, HostsPerRack: 1, AggsPerPod: 1, Cores: 1,
+		EdgeLinkBps: 1, EdgeAggLinkBps: 1, AggCoreLinkBps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := New(fs, topo2)
+	if got := sc.Score(nameserver.ServerInfo{Host: "not-in-topology"}); got != 0 {
+		t.Errorf("unknown host score = %g, want 0", got)
+	}
+}
