@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check test race fuzz check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector, chaos scenarios
+# included. This is the bar CI holds every change to.
+race:
+	$(GO) test -race ./...
+
+# fuzz gives each fuzz target a short budget beyond its seed corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzAllocate -fuzztime=30s ./internal/maxmin
+	$(GO) test -fuzz=FuzzSharesWithNewFlow -fuzztime=30s ./internal/maxmin
+
+check: build vet fmt-check race
+
+clean:
+	$(GO) clean ./...

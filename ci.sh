@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: build, vet, formatting, and the full test suite under
+# the race detector (the chaos fault-injection scenarios run as part of
+# it). Mirrors `make check` for environments without make.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo '--- go build'
+go build ./...
+
+echo '--- go vet'
+go vet ./...
+
+echo '--- gofmt'
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo '--- go test -race'
+go test -race ./...

@@ -112,6 +112,13 @@ func run(args []string) error {
 	repairStop := make(chan struct{})
 	repairDone := make(chan struct{})
 	if *repairEvery > 0 {
+		// The monitor announces each death once per down episode; passes
+		// that only re-confirm an already-declared death stay quiet unless
+		// they did work.
+		monitor := repair.NewMonitor(repair.Config{
+			Service:   svc,
+			DeadAfter: 5 * *repairEvery,
+		})
 		go func() {
 			defer close(repairDone)
 			ticker := time.NewTicker(*repairEvery)
@@ -123,17 +130,14 @@ func run(args []string) error {
 				case <-ticker.C:
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), *repairEvery)
-				res, err := repair.Run(ctx, repair.Config{
-					Service:   svc,
-					DeadAfter: 5 * *repairEvery,
-				})
+				res, err := monitor.Pass(ctx)
 				cancel()
 				if err != nil {
 					log.Printf("repair pass: %v", err)
 					continue
 				}
-				if len(res.Dead) > 0 {
-					log.Printf("repair: %d dead server(s) %v, %d replicas repaired, %d files lost, %d faults",
+				if len(res.Dead) > 0 || res.Repaired > 0 || len(res.Lost) > 0 || len(res.Faults) > 0 {
+					log.Printf("repair: %d newly dead server(s) %v, %d replicas repaired, %d files lost, %d faults",
 						len(res.Dead), res.Dead, res.Repaired, len(res.Lost), len(res.Faults))
 				}
 			}

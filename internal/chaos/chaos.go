@@ -1,0 +1,108 @@
+// Package chaos is a deterministic, seed-driven fault-injection harness
+// for the in-process Mayflower deployment (testbed.Cluster plus the
+// Paxos-replicated nameserver). Each scenario scripts a fault timeline —
+// kill a dataserver mid-read, drop or stall the Flowserver's RPCs, crash
+// and recover a nameserver replica, partition a rack — against real
+// components over loopback TCP, and asserts the system-level invariant
+// the fault must not break (reads complete, errors surface instead of
+// hangs, recovery converges).
+//
+// Reproducibility contract: a scenario's entire random behaviour (replica
+// placement, victim choice, payload bytes) derives from the seed in T, and
+// its event trace records only logical facts — scripted step times, file
+// names, server ids, byte counts, checksums — never wall-clock times or
+// completion interleavings. The same seed therefore yields the identical
+// trace, run to run, which the package test asserts by running every
+// scenario twice.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+)
+
+// T is the context a scenario runs against: the seed, its derived rng,
+// the clock driving scripted delays, and the event trace.
+type T struct {
+	// Seed drives every random choice the scenario makes.
+	Seed int64
+	// WorkDir holds scenario state (chunk stores, nameserver databases).
+	WorkDir string
+	// Clock paces scripted steps; RealClock if nil.
+	Clock Clock
+	// Logf, when set, mirrors every trace event (to a testing.T, say).
+	Logf func(format string, args ...any)
+
+	rngOnce sync.Once
+	rng     *rand.Rand
+
+	mu    sync.Mutex
+	trace []string
+}
+
+// NewT creates a scenario context for the given seed.
+func NewT(seed int64, workDir string) *T {
+	return &T{Seed: seed, WorkDir: workDir, Clock: RealClock{}}
+}
+
+// Intn draws the next deterministic random integer in [0, n). Scenarios
+// must draw in a fixed (single-goroutine) order for reproducibility.
+func (t *T) Intn(n int) int {
+	t.rngOnce.Do(func() { t.rng = rand.New(rand.NewSource(t.Seed)) })
+	return t.rng.Intn(n)
+}
+
+// Payload returns size deterministic bytes for the tagged object, derived
+// from the seed so different seeds exercise different data.
+func (t *T) Payload(tag string, size int) []byte {
+	h := int64(crc32.ChecksumIEEE([]byte(tag)))
+	r := rand.New(rand.NewSource(t.Seed ^ h))
+	buf := make([]byte, size)
+	r.Read(buf)
+	return buf
+}
+
+// Eventf appends one event to the trace. Events must contain only logical
+// facts (step names, ids, sizes, checksums) — never wall-clock readings.
+func (t *T) Eventf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	t.trace = append(t.trace, msg)
+	t.mu.Unlock()
+	if t.Logf != nil {
+		t.Logf("chaos: %s", msg)
+	}
+}
+
+// Trace returns a copy of the events recorded so far.
+func (t *T) Trace() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.trace...)
+}
+
+// Checksum is the digest recorded in traces for payload integrity.
+func Checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// Scenario is one scripted fault-injection run.
+type Scenario struct {
+	// Name identifies the scenario (go test -run Scenario/<Name>).
+	Name string
+	// Run executes the scenario, recording its trace into t and
+	// returning an error when an invariant is violated.
+	Run func(ctx context.Context, t *T) error
+}
+
+// Scenarios lists every scripted scenario.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "KillDataserver", Run: KillDataserverMidRead},
+		{Name: "FlowserverUnreachable", Run: FlowserverUnreachable},
+		{Name: "FlowserverStall", Run: FlowserverStall},
+		{Name: "NameserverReplicaCrash", Run: NameserverReplicaCrash},
+		{Name: "PartitionRack", Run: PartitionRack},
+	}
+}

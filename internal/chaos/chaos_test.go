@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"context"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The seed is a first-class test input: every random choice a scenario
+// makes derives from it, and it is printed on failure so a failing run
+// can be replayed exactly:
+//
+//	go test ./internal/chaos -run Scenario/KillDataserver -seed 42
+var seedFlag = flag.Int64("seed", 42, "seed driving chaos scenario randomness")
+
+// TestScenario runs every scripted fault-injection scenario twice with
+// the same seed and asserts the event traces are identical — the
+// reproducibility contract the harness promises.
+func TestScenario(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			first := runScenario(t, sc, *seedFlag)
+			second := runScenario(t, sc, *seedFlag)
+			if len(first) != len(second) {
+				t.Fatalf("seed %d: trace lengths differ: %d vs %d\nfirst:\n  %s\nsecond:\n  %s",
+					*seedFlag, len(first), len(second),
+					strings.Join(first, "\n  "), strings.Join(second, "\n  "))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("seed %d: traces diverge at event %d:\n  %q\nvs\n  %q",
+						*seedFlag, i, first[i], second[i])
+				}
+			}
+		})
+	}
+}
+
+func runScenario(t *testing.T, sc Scenario, seed int64) []string {
+	t.Helper()
+	tt := NewT(seed, t.TempDir())
+	tt.Logf = t.Logf
+	// The deadline is the no-hang assertion: every scenario must finish
+	// long before it, faults and all.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := sc.Run(ctx, tt); err != nil {
+		t.Fatalf("seed %d: %v\ntrace so far:\n  %s", seed, err, strings.Join(tt.Trace(), "\n  "))
+	}
+	return tt.Trace()
+}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/client"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// chaosTopo is the scenarios' testbed: 8 hosts in 2 pods × 2 racks × 2
+// hosts, small enough to boot in well under a second but with four
+// distinct rack fault-domains to place across and partition.
+func chaosTopo() topology.Config {
+	edge := topology.Mbps(512)
+	return topology.Config{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 2,
+		EdgeLinkBps: edge, EdgeAggLinkBps: edge / 2, AggCoreLinkBps: edge / 8,
+	}
+}
+
+// deployment wraps a testbed cluster with the index structures scenarios
+// need for deterministic placement and victim selection.
+type deployment struct {
+	cluster   *testbed.Cluster
+	hosts     []topology.NodeID
+	serverIDs []string          // index-aligned with hosts, lexically stable
+	hostOf    map[string]string // server id → host name
+	rackOf    map[string]int    // server id → global rack index
+}
+
+// newDeployment boots a cluster for a scenario. HeartbeatInterval is
+// shrunk so death detection fits scenario time.
+func newDeployment(t *T, mode testbed.Mode) (*deployment, error) {
+	cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+		Mode:              mode,
+		Topo:              chaosTopo(),
+		Seed:              t.Seed,
+		WorkDir:           t.WorkDir,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &deployment{
+		cluster: cluster,
+		hostOf:  make(map[string]string),
+		rackOf:  make(map[string]int),
+	}
+	for _, h := range cluster.Topo.Hosts() {
+		node := cluster.Topo.Node(h)
+		id := cluster.ServerID(h)
+		d.hosts = append(d.hosts, h)
+		d.serverIDs = append(d.serverIDs, id)
+		d.hostOf[id] = node.Name
+		d.rackOf[id] = node.Pod*chaosTopo().RacksPerPod + node.Rack
+	}
+	// Host iteration order is already deterministic (topology order), but
+	// pin the id list lexically so victim draws never depend on it.
+	sort.Strings(d.serverIDs)
+	return d, nil
+}
+
+func (d *deployment) Close() { d.cluster.Close() }
+
+// pickReplicas draws a replica set of n distinct server ids from the
+// seeded rng — deterministic placement, recorded in the trace.
+func (d *deployment) pickReplicas(t *T, n int) []string {
+	pool := append([]string(nil), d.serverIDs...)
+	reps := make([]string, 0, n)
+	for len(reps) < n {
+		i := t.Intn(len(pool))
+		reps = append(reps, pool[i])
+		pool = append(pool[:i], pool[i+1:]...)
+	}
+	return reps
+}
+
+// createFiles creates count files with pinned (seed-chosen) replica sets
+// and deterministic payloads, recording each in the trace. Returns the
+// payload checksums and replica sets, indexed by file.
+func (d *deployment) createFiles(ctx context.Context, t *T, cl *client.Client, count, size int) ([]uint32, [][]string, error) {
+	sums := make([]uint32, count)
+	repSets := make([][]string, count)
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("f%d", i)
+		reps := d.pickReplicas(t, 3)
+		if _, err := cl.Create(ctx, name, nameserver.CreateOptions{
+			Replication:       3,
+			PreferredReplicas: reps,
+		}); err != nil {
+			return nil, nil, fmt.Errorf("create %s: %w", name, err)
+		}
+		payload := t.Payload(name, size)
+		if _, err := cl.Append(ctx, name, payload); err != nil {
+			return nil, nil, fmt.Errorf("append %s: %w", name, err)
+		}
+		sums[i] = Checksum(payload)
+		repSets[i] = reps
+		t.Eventf("created %s size=%d replicas=%v sum=%08x", name, size, reps, sums[i])
+	}
+	return sums, repSets, nil
+}
+
+// startReads launches one concurrent ReadAll per file and returns a join
+// function that waits for them, verifies payload integrity, and records
+// the outcomes in file order — never completion order, so the trace stays
+// deterministic however the reads interleave with injected faults.
+func startReads(ctx context.Context, t *T, cl *client.Client, sums []uint32, phase string) func() error {
+	type result struct {
+		n   int
+		sum uint32
+		err error
+	}
+	results := make([]result, len(sums))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := range sums {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				data, err := cl.ReadAll(ctx, fmt.Sprintf("f%d", i))
+				results[i] = result{n: len(data), sum: Checksum(data), err: err}
+			}()
+		}
+		wg.Wait()
+	}()
+	return func() error {
+		<-done
+		for i, r := range results {
+			if r.err != nil {
+				return fmt.Errorf("read f%d (%s): %w", i, phase, r.err)
+			}
+			if r.sum != sums[i] {
+				return fmt.Errorf("read f%d (%s): checksum %08x, want %08x", i, phase, r.sum, sums[i])
+			}
+			t.Eventf("read f%d ok (%s) n=%d sum=%08x", i, phase, r.n, r.sum)
+		}
+		return nil
+	}
+}
+
+// readAll runs startReads and joins immediately — for phases without a
+// concurrent fault to script.
+func readAll(ctx context.Context, t *T, cl *client.Client, sums []uint32, phase string) error {
+	return startReads(ctx, t, cl, sums, phase)()
+}

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ProxyMode selects how the proxy treats traffic.
+type ProxyMode int
+
+// Proxy modes.
+const (
+	// ProxyPass forwards traffic unchanged.
+	ProxyPass ProxyMode = iota
+	// ProxyDrop refuses new connections and severs existing ones — the
+	// peer looks crashed (fast errors).
+	ProxyDrop
+	// ProxyBlackhole accepts connections but forwards nothing — the peer
+	// looks wedged (stalls, exercising client timeouts).
+	ProxyBlackhole
+)
+
+// Proxy is a TCP proxy in front of a real component, used to inject
+// transport faults (drop, stall) without touching the component itself.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	mode   ProxyMode
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetMode switches the fault mode. Entering ProxyDrop severs every
+// existing connection.
+func (p *Proxy) SetMode(mode ProxyMode) {
+	p.mu.Lock()
+	p.mode = mode
+	var conns []net.Conn
+	if mode == ProxyDrop {
+		for c := range p.conns {
+			conns = append(conns, c)
+		}
+		p.conns = make(map[net.Conn]struct{})
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *Proxy) getMode() ProxyMode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.getMode() == ProxyDrop {
+			conn.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			up.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		go p.pipe(conn, up)
+		go p.pipe(up, conn)
+	}
+}
+
+// pipe copies src to dst, pausing (without closing) while blackholed.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, dst)
+		delete(p.conns, src)
+		p.mu.Unlock()
+		dst.Close()
+		src.Close()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			for p.getMode() == ProxyBlackhole {
+				// Stall: hold the bytes back until the mode changes or
+				// the proxy closes.
+				p.mu.Lock()
+				closed := p.closed
+				p.mu.Unlock()
+				if closed {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the proxy and severs every connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}

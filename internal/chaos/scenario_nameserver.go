@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/paxos"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// nsReplica is one member of a Paxos-replicated nameserver group. Its RPC
+// endpoint can crash (connections severed, port closed) and recover on
+// the same address; the Paxos log brings a recovered member back up to
+// date. This models an endpoint crash / long network outage — the
+// prototype's Paxos log is in-memory, so a full process crash with state
+// loss is out of scope.
+type nsReplica struct {
+	id    int64
+	addr  string
+	store *kvstore.Store
+	svc   *nameserver.Service
+	rs    *nameserver.ReplicatedService
+	node  *paxos.Node
+	srv   *wire.Server
+}
+
+func (r *nsReplica) serve(ln net.Listener) error {
+	srv := wire.NewServer()
+	if err := paxos.RegisterRPC(srv, r.node); err != nil {
+		return err
+	}
+	if err := nameserver.RegisterRPC(srv, r.rs); err != nil {
+		return err
+	}
+	r.srv = srv
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return nil
+}
+
+// crash severs the replica's RPC endpoint (existing connections killed,
+// new ones refused).
+func (r *nsReplica) crash() error { return r.srv.Close() }
+
+// recover reopens the RPC endpoint on the original address; peers' lazy
+// redial picks it up on their next message.
+func (r *nsReplica) recover() error {
+	ln, err := net.Listen("tcp", r.addr)
+	if err != nil {
+		return err
+	}
+	return r.serve(ln)
+}
+
+func (r *nsReplica) close() {
+	if r.srv != nil {
+		r.srv.Close()
+	}
+	if r.store != nil {
+		r.store.Close()
+	}
+}
+
+// NameserverReplicaCrash drives a 3-replica Paxos nameserver group
+// through crash, loss of quorum, and recovery:
+//
+//   - with one replica crashed, mutations still commit (majority);
+//   - with two crashed, mutations fail fast with ErrReplicationTimeout —
+//     graceful error propagation, not a hang;
+//   - after recovery, a crashed replica catches up on the mutations it
+//     missed via the Paxos log, and the failed no-quorum mutation is
+//     nowhere to be found.
+func NameserverReplicaCrash(ctx context.Context, t *T) error {
+	const n = 3
+	replicas := make([]*nsReplica, n)
+	defer func() {
+		for _, r := range replicas {
+			if r != nil {
+				r.close()
+			}
+		}
+	}()
+
+	// Listeners first, so every node knows every address.
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		store, err := kvstore.Open(fmt.Sprintf("%s/ns%d", t.WorkDir, i), kvstore.Options{})
+		if err != nil {
+			return err
+		}
+		svc, err := nameserver.NewService(store, rand.New(rand.NewSource(t.Seed+int64(i))))
+		if err != nil {
+			store.Close()
+			return err
+		}
+		rs := nameserver.NewReplicatedService(svc)
+		peers := make(map[int64]paxos.Transport)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[int64(j)] = paxos.NewRPCTransport(addrs[j])
+			}
+		}
+		node, err := paxos.NewNode(paxos.Config{ID: int64(i), Peers: peers, Apply: rs.Apply})
+		if err != nil {
+			store.Close()
+			return err
+		}
+		rs.SetNode(node)
+		r := &nsReplica{id: int64(i), addr: addrs[i], store: store, svc: svc, rs: rs, node: node}
+		if err := r.serve(lns[i]); err != nil {
+			store.Close()
+			return err
+		}
+		replicas[i] = r
+	}
+	head := replicas[0].rs
+
+	// Fake dataservers give placement something to draw on; no data moves
+	// in this metadata-plane scenario.
+	serverIDs := []string{"ds-a", "ds-b", "ds-c", "ds-d"}
+	for i, id := range serverIDs {
+		if err := head.RegisterServer(nameserver.ServerInfo{
+			ID:          id,
+			ControlAddr: fmt.Sprintf("127.0.0.1:%d", 10000+i),
+			DataAddr:    fmt.Sprintf("127.0.0.1:%d", 11000+i),
+			Host:        fmt.Sprintf("host-p0-r%d-h0", i),
+			Rack:        i,
+		}); err != nil {
+			return fmt.Errorf("register %s: %w", id, err)
+		}
+	}
+	t.Eventf("registered %d dataservers", len(serverIDs))
+
+	create := func(name string) error {
+		reps := make([]string, 0, 3)
+		pool := append([]string(nil), serverIDs...)
+		for len(reps) < 3 {
+			i := t.Intn(len(pool))
+			reps = append(reps, pool[i])
+			pool = append(pool[:i], pool[i+1:]...)
+		}
+		fi, err := head.Create(name, nameserver.CreateOptions{Replication: 3, PreferredReplicas: reps})
+		if err != nil {
+			return err
+		}
+		ids := make([]string, len(fi.Replicas))
+		for i, rep := range fi.Replicas {
+			ids[i] = rep.ServerID
+		}
+		t.Eventf("ns create %s replicas=%v", name, ids)
+		return nil
+	}
+
+	sched := &Scheduler{}
+	sched.At(0, "create f0..f2 with full quorum", func() error {
+		for i := 0; i < 3; i++ {
+			if err := create(fmt.Sprintf("f%d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	sched.At(10*time.Millisecond, "crash replica 2", func() error {
+		return replicas[2].crash()
+	})
+	sched.At(20*time.Millisecond, "create f3 with 2/3 quorum", func() error {
+		return create("f3")
+	})
+	sched.At(30*time.Millisecond, "crash replica 1 (quorum lost)", func() error {
+		head.ProposeTimeout = 400 * time.Millisecond
+		return replicas[1].crash()
+	})
+	sched.At(40*time.Millisecond, "create f4 without quorum fails fast", func() error {
+		err := create("f4")
+		if err == nil {
+			return errors.New("create f4 succeeded without quorum")
+		}
+		if !errors.Is(err, nameserver.ErrReplicationTimeout) {
+			return fmt.Errorf("create f4: %v, want ErrReplicationTimeout", err)
+		}
+		t.Eventf("ns create f4 rejected: replication timeout (no quorum)")
+		return nil
+	})
+	sched.At(500*time.Millisecond, "recover replicas 1 and 2", func() error {
+		head.ProposeTimeout = 10 * time.Second
+		if err := replicas[1].recover(); err != nil {
+			return err
+		}
+		return replicas[2].recover()
+	})
+	sched.At(510*time.Millisecond, "create f5 after recovery", func() error {
+		return create("f5")
+	})
+	sched.At(520*time.Millisecond, "replica 2 catches up", func() error {
+		cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		if err := replicas[2].node.CatchUp(cctx); err != nil {
+			return err
+		}
+		// Catch-up learns the chosen commands; applying is asynchronous
+		// only across gaps, so poll briefly for convergence.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if replicas[2].svc.NumFiles() == 5 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica 2 has %d files, want 5", replicas[2].svc.NumFiles())
+			}
+			time.Sleep(5 * time.Millisecond)
+			cctx, cancel := context.WithTimeout(ctx, time.Second)
+			_ = replicas[2].node.CatchUp(cctx)
+			cancel()
+		}
+		if _, err := replicas[2].svc.Lookup("f5"); err != nil {
+			return fmt.Errorf("replica 2 lookup f5: %w", err)
+		}
+		if _, err := replicas[2].svc.Lookup("f4"); err == nil {
+			return errors.New("replica 2 has f4, which never committed")
+		}
+		t.Eventf("replica 2 caught up: 5 files, f4 absent")
+		return nil
+	})
+	return sched.Run(t)
+}

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/client"
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// partition is a client-side network partition: dials to blocked
+// addresses fail while active, and control connections already open to
+// them are severed on activation (a real partition kills established
+// flows too).
+type partition struct {
+	mu      sync.Mutex
+	active  bool
+	blocked map[string]bool
+	ctl     map[string][]*wire.Client // addr → conns opened through us
+}
+
+func newPartition(addrs []string) *partition {
+	p := &partition{blocked: make(map[string]bool), ctl: make(map[string][]*wire.Client)}
+	for _, a := range addrs {
+		p.blocked[a] = true
+	}
+	return p
+}
+
+var errPartitioned = fmt.Errorf("chaos: host partitioned")
+
+func (p *partition) cut(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active && p.blocked[addr]
+}
+
+// dialData is a client DialData hook honoring the partition.
+func (p *partition) dialData(ctx context.Context, addr string) (net.Conn, error) {
+	if p.cut(addr) {
+		return nil, errPartitioned
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// dialControl is a client DialControl hook honoring the partition.
+func (p *partition) dialControl(addr string) (*wire.Client, error) {
+	if p.cut(addr) {
+		return nil, errPartitioned
+	}
+	c, err := wire.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.blocked[addr] {
+		p.ctl[addr] = append(p.ctl[addr], c)
+	}
+	p.mu.Unlock()
+	return c, nil
+}
+
+// activate starts the partition, severing tracked connections into it.
+func (p *partition) activate() {
+	p.mu.Lock()
+	p.active = true
+	var sever []*wire.Client
+	for addr, cs := range p.ctl {
+		sever = append(sever, cs...)
+		delete(p.ctl, addr)
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// heal ends the partition.
+func (p *partition) heal() {
+	p.mu.Lock()
+	p.active = false
+	p.mu.Unlock()
+}
+
+// PartitionRack cuts a client off from every dataserver in a seed-chosen
+// rack holding a replica of f0 and asserts reads of every file still
+// succeed by failing over to replicas outside the partition — including
+// when the Flowserver (which cannot see the client's partition) assigns
+// the unreachable replica. After healing, reads succeed again.
+func PartitionRack(ctx context.Context, t *T) error {
+	d, err := newDeployment(t, testbed.ModeMayflower)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// Build the partition before the client so its dialers can be wired
+	// in; the blocked set is filled once the victim rack is chosen.
+	part := newPartition(nil)
+	// Metadata bootstrap client (not partitioned) pins placements.
+	boot, err := d.cluster.Client(d.hosts[0])
+	if err != nil {
+		return err
+	}
+	sums, repSets, err := d.createFiles(ctx, t, boot, 3, 128<<10)
+	if err != nil {
+		return err
+	}
+
+	// Victim rack: the rack of a seed-chosen replica of f0. Racks hold 2
+	// of 8 hosts, so every 3-replica file keeps at least one replica
+	// outside the partition.
+	victimID := repSets[0][t.Intn(len(repSets[0]))]
+	victimRack := d.rackOf[victimID]
+	for id, rack := range d.rackOf {
+		if rack != victimRack {
+			continue
+		}
+		ctl, data, err := d.cluster.DataserverAddrs(d.hostOf[id])
+		if err != nil {
+			return err
+		}
+		part.mu.Lock()
+		part.blocked[ctl] = true
+		part.blocked[data] = true
+		part.mu.Unlock()
+	}
+	// The observing client lives outside the victim rack (first such host
+	// in topology order — deterministic).
+	clientNode := d.hosts[0]
+	for _, h := range d.hosts {
+		node := d.cluster.Topo.Node(h)
+		if node.Pod*chaosTopo().RacksPerPod+node.Rack != victimRack {
+			clientNode = h
+			break
+		}
+	}
+	cl, err := d.cluster.NewClient(clientNode, func(o *client.Options) {
+		o.DialData = part.dialData
+		o.DialControl = part.dialControl
+		o.RetryBackoff = 10 * time.Millisecond
+	})
+	if err != nil {
+		return err
+	}
+
+	sched := &Scheduler{}
+	sched.At(0, "read all files (baseline)", func() error {
+		return readAll(ctx, t, cl, sums, "baseline")
+	})
+	sched.At(10*time.Millisecond, fmt.Sprintf("partition rack %d", victimRack), func() error {
+		part.activate()
+		return nil
+	})
+	sched.At(20*time.Millisecond, "read all files (partitioned)", func() error {
+		return readAll(ctx, t, cl, sums, "partitioned")
+	})
+	sched.At(30*time.Millisecond, "heal partition", func() error {
+		part.heal()
+		return nil
+	})
+	sched.At(40*time.Millisecond, "read all files (healed)", func() error {
+		return readAll(ctx, t, cl, sums, "healed")
+	})
+	return sched.Run(t)
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time for scenario scripts, so the same
+// timeline can run against real sleeps (integration runs) or a virtual
+// clock (scheduler unit tests) without changing the scenario.
+type Clock interface {
+	// Sleep blocks the scripted timeline for d.
+	Sleep(d time.Duration)
+}
+
+// RealClock sleeps on the wall clock.
+type RealClock struct{}
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock advances instantly, accumulating the logical time slept.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Sleep implements Clock by advancing the virtual time.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Now returns the accumulated virtual time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Scheduler executes a scenario's fault timeline: named steps at logical
+// offsets from the scenario start. Steps run sequentially in offset order
+// (ties in insertion order), each recorded in the trace with its logical
+// time — so the trace is identical however long the steps themselves
+// take. Anything concurrent (the reads a fault interrupts) is started by
+// a step and joined by a later step.
+type Scheduler struct {
+	steps []step
+}
+
+type step struct {
+	at   time.Duration
+	name string
+	do   func() error
+}
+
+// At schedules step name at the given offset from the timeline start.
+func (s *Scheduler) At(at time.Duration, name string, do func() error) {
+	s.steps = append(s.steps, step{at: at, name: name, do: do})
+}
+
+// Run executes the timeline against t's clock, recording each step.
+func (s *Scheduler) Run(t *T) error {
+	sort.SliceStable(s.steps, func(i, j int) bool { return s.steps[i].at < s.steps[j].at })
+	var now time.Duration
+	for _, st := range s.steps {
+		if st.at > now {
+			t.Clock.Sleep(st.at - now)
+			now = st.at
+		}
+		t.Eventf("t=%s %s", st.at, st.name)
+		if err := st.do(); err != nil {
+			return fmt.Errorf("chaos: step %q: %w", st.name, err)
+		}
+	}
+	return nil
+}

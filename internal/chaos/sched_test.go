@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The scheduler against a virtual clock: steps run in offset order (ties
+// in insertion order), logical times land in the trace, and no wall time
+// passes.
+func TestSchedulerVirtualClock(t *testing.T) {
+	clock := &VirtualClock{}
+	tt := NewT(1, t.TempDir())
+	tt.Clock = clock
+
+	var order []string
+	step := func(name string) func() error {
+		return func() error {
+			order = append(order, name)
+			return nil
+		}
+	}
+	s := &Scheduler{}
+	s.At(20*time.Millisecond, "late", step("late"))
+	s.At(0, "first", step("first"))
+	s.At(10*time.Millisecond, "mid-a", step("mid-a"))
+	s.At(10*time.Millisecond, "mid-b", step("mid-b"))
+	start := time.Now()
+	if err := s.Run(tt); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("virtual run took wall time %v", elapsed)
+	}
+
+	want := []string{"first", "mid-a", "mid-b", "late"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("step order %v, want %v", order, want)
+	}
+	if got := clock.Now(); got != 20*time.Millisecond {
+		t.Fatalf("virtual clock at %v, want 20ms", got)
+	}
+	trace := tt.Trace()
+	wantTrace := []string{"t=0s first", "t=10ms mid-a", "t=10ms mid-b", "t=20ms late"}
+	if fmt.Sprint(trace) != fmt.Sprint(wantTrace) {
+		t.Fatalf("trace %q, want %q", trace, wantTrace)
+	}
+}
+
+func TestSchedulerStopsOnStepError(t *testing.T) {
+	tt := NewT(1, t.TempDir())
+	tt.Clock = &VirtualClock{}
+	boom := errors.New("boom")
+	ran := false
+	s := &Scheduler{}
+	s.At(0, "fails", func() error { return boom })
+	s.At(time.Millisecond, "never runs", func() error { ran = true; return nil })
+	err := s.Run(tt)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran {
+		t.Fatal("later step ran after a failure")
+	}
+}

@@ -81,6 +81,35 @@ type Options struct {
 	// flows a paced path). It returns the flow id to tag the read with
 	// and a cleanup callback invoked when the read finishes.
 	AssignFlow func(replicaHost string, bytes int64) (flowID uint64, done func())
+	// DialControl opens dataserver control connections; a bounded-dial
+	// wire.DialTimeout if nil. Fault-injection harnesses substitute a
+	// partition-aware dialer here.
+	DialControl func(addr string) (*wire.Client, error)
+	// ReadTimeout bounds each per-replica read attempt (2 min if zero,
+	// <0 disables). On expiry the read fails over to the next candidate
+	// instead of hanging on a stalled or partitioned replica.
+	ReadTimeout time.Duration
+	// ReadRetries is how many full passes over the replica candidate
+	// list a read makes before giving up (2 if zero). File metadata is
+	// refreshed between passes so repaired replica sets and promoted
+	// primaries are picked up mid-failure.
+	ReadRetries int
+	// RetryBackoff is the base delay before the second failover pass,
+	// doubled each further pass and capped at 2 s (50 ms if zero).
+	RetryBackoff time.Duration
+	// FlowserverTimeout bounds the Flowserver Select RPC (2 s if zero,
+	// <0 disables). On expiry or error the client degrades to
+	// locality-order replica selection; the Flowserver is an optimizer,
+	// not a dependency.
+	FlowserverTimeout time.Duration
+	// RPCTimeout is the default deadline applied to small metadata and
+	// control RPCs when the caller's context has none (10 s if zero,
+	// <0 disables), so a stalled nameserver cannot hang the client.
+	RPCTimeout time.Duration
+	// Locate maps host names to (pod, rack) for locality-order replica
+	// selection; defaults to parsing the canonical
+	// "host-p<pod>-r<rack>-h<idx>" scheme. Unknown hosts sort last.
+	Locate Locator
 }
 
 type cacheEntry struct {
@@ -117,12 +146,35 @@ func New(opts Options) (*Client, error) {
 			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
+	if opts.DialControl == nil {
+		opts.DialControl = func(addr string) (*wire.Client, error) {
+			return wire.DialTimeout(addr, 5*time.Second)
+		}
+	}
+	if opts.ReadTimeout == 0 {
+		opts.ReadTimeout = 2 * time.Minute
+	}
+	if opts.ReadRetries == 0 {
+		opts.ReadRetries = 2
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.FlowserverTimeout == 0 {
+		opts.FlowserverTimeout = 2 * time.Second
+	}
+	if opts.RPCTimeout == 0 {
+		opts.RPCTimeout = 10 * time.Second
+	}
+	if opts.Locate == nil {
+		opts.Locate = defaultLocate
+	}
 	rng := opts.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 
-	ns, err := nameserver.Dial(opts.NameserverAddr)
+	ns, err := nameserver.DialTimeout(opts.NameserverAddr, 5*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -134,12 +186,12 @@ func New(opts Options) (*Client, error) {
 		rng:   rng,
 	}
 	if opts.FlowserverAddr != "" {
-		fs, err := flowserver.DialRPC(opts.FlowserverAddr)
-		if err != nil {
-			ns.Close()
-			return nil, err
+		// The Flowserver is an optimizer, not a dependency: if it is
+		// unreachable the client starts without it and reads fall back
+		// to locality-ordered replica selection.
+		if fs, err := flowserver.DialRPCTimeout(opts.FlowserverAddr, 5*time.Second); err == nil {
+			c.fs = fs
 		}
-		c.fs = fs
 	}
 	return c, nil
 }
@@ -173,7 +225,7 @@ func (c *Client) control(addr string) (*wire.Client, error) {
 	if cc, ok := c.ctl[addr]; ok {
 		return cc, nil
 	}
-	cc, err := wire.Dial(addr)
+	cc, err := c.opts.DialControl(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +252,9 @@ func (c *Client) fileInfo(ctx context.Context, name string) (nameserver.FileInfo
 	}
 	c.mu.Unlock()
 
-	info, err := c.ns.Lookup(ctx, name)
+	lctx, cancel := c.rpcCtx(ctx)
+	info, err := c.ns.Lookup(lctx, name)
+	cancel()
 	if err != nil {
 		return nameserver.FileInfo{}, err
 	}
@@ -235,7 +289,9 @@ func (c *Client) observeSize(name string, size int64) {
 // primary dataserver prepares local state and relays to the other
 // replicas.
 func (c *Client) Create(ctx context.Context, name string, opts nameserver.CreateOptions) (nameserver.FileInfo, error) {
-	info, err := c.ns.Create(ctx, name, opts)
+	cctx, cancel := c.rpcCtx(ctx)
+	info, err := c.ns.Create(cctx, name, opts)
+	cancel()
 	if err != nil {
 		return nameserver.FileInfo{}, err
 	}
@@ -287,38 +343,48 @@ func (c *Client) Append(ctx context.Context, name string, data []byte) (int64, e
 }
 
 // Stat returns fresh metadata: the nameserver record with the size
-// corrected by the primary dataserver's authoritative local size.
+// corrected by a dataserver's local size (the primary is asked first; on
+// its failure the remaining replicas answer). If every replica of the
+// cached set is unreachable the metadata is refreshed once — a repaired
+// replica set may have entirely superseded the cached one.
 func (c *Client) Stat(ctx context.Context, name string) (nameserver.FileInfo, error) {
 	info, err := c.fileInfo(ctx, name)
 	if err != nil {
 		return nameserver.FileInfo{}, err
 	}
-	cc, err := c.control(info.Primary().ControlAddr)
-	if err != nil {
-		return nameserver.FileInfo{}, err
+	size, serr := c.statReplicas(ctx, info)
+	if serr != nil {
+		c.invalidate(name)
+		info, err = c.fileInfo(ctx, name)
+		if err != nil {
+			return nameserver.FileInfo{}, err
+		}
+		size, serr = c.statReplicas(ctx, info)
+		if serr != nil {
+			return nameserver.FileInfo{}, fmt.Errorf("client: stat %s: %w", name, serr)
+		}
 	}
-	var st dataserver.StatReply
-	if err := cc.Call(ctx, dataserver.MethodStat, dataserver.FileIDArgs{FileID: info.ID}, &st); err != nil {
-		c.dropControl(info.Primary().ControlAddr)
-		return nameserver.FileInfo{}, fmt.Errorf("client: stat %s: %w", name, err)
-	}
-	if st.SizeBytes > info.SizeBytes {
-		info.SizeBytes = st.SizeBytes
-		c.observeSize(name, st.SizeBytes)
+	if size > info.SizeBytes {
+		info.SizeBytes = size
+		c.observeSize(name, size)
 	}
 	return info, nil
 }
 
 // List returns metadata for files whose names have the given prefix.
 func (c *Client) List(ctx context.Context, prefix string) ([]nameserver.FileInfo, error) {
-	return c.ns.List(ctx, prefix)
+	lctx, cancel := c.rpcCtx(ctx)
+	defer cancel()
+	return c.ns.List(lctx, prefix)
 }
 
 // Delete removes a file: metadata first (so new readers stop finding it),
 // then the replicas' chunk data. Replica cleanup failures are collected
 // but do not resurrect the file.
 func (c *Client) Delete(ctx context.Context, name string) error {
-	info, err := c.ns.Delete(ctx, name)
+	dctx, cancel := c.rpcCtx(ctx)
+	info, err := c.ns.Delete(dctx, name)
+	cancel()
 	if err != nil {
 		return err
 	}
@@ -418,29 +484,27 @@ func (c *Client) ReadAt(ctx context.Context, name string, offset, length int64) 
 // readSegment fills buf from the file starting at offset. primaryOnly
 // pins the read to the primary replica; otherwise the Flowserver (when
 // configured) chooses the replica(s) and may split the read in two
-// (§4.3).
+// (§4.3). Every branch funnels into readWithFailover, so a dead or
+// stalled replica costs a bounded attempt, never the read.
 func (c *Client) readSegment(ctx context.Context, name string, info nameserver.FileInfo, offset int64, buf []byte, primaryOnly bool) error {
 	if len(buf) == 0 {
 		return nil
 	}
 	if primaryOnly || c.fs == nil {
-		rep := info.Primary()
+		cands := []nameserver.ReplicaLoc{info.Primary()}
 		if !primaryOnly {
+			first := info.Primary()
 			if c.opts.PickReplica != nil {
-				rep = c.opts.PickReplica(info)
+				first = c.opts.PickReplica(info)
 			} else {
-				rep = info.Replicas[c.pick(len(info.Replicas))]
+				// Random first pick spreads load in the degraded
+				// no-flowserver mode the paper compares against; failover
+				// candidates follow in locality order.
+				first = info.Replicas[c.pick(len(info.Replicas))]
 			}
+			cands = c.orderCandidates(info, &first)
 		}
-		var flowID uint64
-		if c.opts.AssignFlow != nil {
-			id, done := c.opts.AssignFlow(rep.Host, int64(len(buf)))
-			flowID = id
-			if done != nil {
-				defer done()
-			}
-		}
-		return c.readFrom(ctx, name, info, rep, flowID, offset, buf)
+		return c.readWithFailover(ctx, name, info, cands, c.assignTagger(len(buf)), offset, buf, primaryOnly)
 	}
 
 	candidates := info.Replicas
@@ -455,16 +519,24 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 		hosts[i] = r.Host
 		byHost[r.Host] = r
 	}
-	assignments, err := c.fs.Select(ctx, flowserver.SelectArgs{
+	sctx := ctx
+	if t := c.opts.FlowserverTimeout; t > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	assignments, err := c.fs.Select(sctx, flowserver.SelectArgs{
 		ClientHost:   c.opts.Host,
 		ReplicaHosts: hosts,
 		Bits:         float64(len(buf)) * 8,
 	})
 	if err != nil || len(assignments) == 0 {
-		// The Flowserver is an optimizer, not a dependency: fall back to
-		// a random replica.
-		rep := info.Replicas[c.pick(len(info.Replicas))]
-		return c.readFrom(ctx, name, info, rep, 0, offset, buf)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The Flowserver is an optimizer, not a dependency: degrade to
+		// locality-order replica selection with unscheduled flows.
+		return c.readWithFailover(ctx, name, info, c.orderCandidates(info, nil), nil, offset, buf, false)
 	}
 
 	// Convert the bit split into byte ranges, last assignment taking the
@@ -492,13 +564,24 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 		}
 		i, rep, off, sub := i, rep, offset+segStart, buf[segStart:segStart+segLen]
 		flowID := uint64(a.FlowID)
+		// The scheduled flow id applies only to the replica the
+		// Flowserver chose; failover attempts run unscheduled.
+		tag := func(r nameserver.ReplicaLoc) (uint64, func()) {
+			if r.ServerID == rep.ServerID {
+				return flowID, nil
+			}
+			return 0, nil
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[i] = c.readFrom(ctx, name, info, rep, flowID, off, sub)
-			if c.fs != nil {
-				_ = c.fs.Finished(ctx, flowserver.FlowID(flowID))
-			}
+			errs[i] = c.readWithFailover(ctx, name, info, c.orderCandidates(info, &rep), tag, off, sub, false)
+			// Always release the flow table entry, even when the read (or
+			// its context) failed — on a fresh context so cancellation
+			// cannot leak control-plane state.
+			fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = c.fs.Finished(fctx, flowserver.FlowID(flowID))
+			cancel()
 		}()
 		segStart += segLen
 	}
@@ -512,21 +595,15 @@ func (c *Client) pick(n int) int {
 	return c.rng.Intn(n)
 }
 
-// readFrom performs one bulk read against a replica and retries once
-// against the primary if the replica fails (crash or lagging append).
-func (c *Client) readFrom(ctx context.Context, name string, info nameserver.FileInfo, rep nameserver.ReplicaLoc, flowID uint64, offset int64, buf []byte) error {
-	err := c.readOnce(ctx, name, info, rep, flowID, offset, buf)
-	if err == nil {
+// assignTagger adapts Options.AssignFlow to a flowTagger for reads that
+// bypass the Flowserver; nil when no AssignFlow hook is configured.
+func (c *Client) assignTagger(n int) flowTagger {
+	if c.opts.AssignFlow == nil {
 		return nil
 	}
-	if rep.ServerID == info.Primary().ServerID {
-		return err
+	return func(rep nameserver.ReplicaLoc) (uint64, func()) {
+		return c.opts.AssignFlow(rep.Host, int64(n))
 	}
-	// Failover: the primary has every acknowledged byte.
-	if ferr := c.readOnce(ctx, name, info, info.Primary(), flowID, offset, buf); ferr == nil {
-		return nil
-	}
-	return err
 }
 
 func (c *Client) readOnce(ctx context.Context, name string, info nameserver.FileInfo, rep nameserver.ReplicaLoc, flowID uint64, offset int64, buf []byte) error {

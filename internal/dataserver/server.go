@@ -77,15 +77,16 @@ type Server struct {
 	store *storage
 	ctl   *wire.Server
 
-	mu       sync.Mutex
-	dataLn   net.Listener
-	ctlAddr  string
-	dataAddr string
-	ns       *nameserver.Client
-	peers    map[string]*wire.Client
-	closed   bool
-	wg       sync.WaitGroup
-	beatStop chan struct{}
+	mu        sync.Mutex
+	dataLn    net.Listener
+	ctlAddr   string
+	dataAddr  string
+	ns        *nameserver.Client
+	peers     map[string]*wire.Client
+	dataConns map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+	beatStop  chan struct{}
 }
 
 // New creates a dataserver over the given storage root.
@@ -104,11 +105,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		store:    st,
-		ctl:      wire.NewServer(),
-		peers:    make(map[string]*wire.Client),
-		beatStop: make(chan struct{}),
+		cfg:       cfg,
+		store:     st,
+		ctl:       wire.NewServer(),
+		peers:     make(map[string]*wire.Client),
+		dataConns: make(map[net.Conn]struct{}),
+		beatStop:  make(chan struct{}),
 	}
 	if err := s.registerHandlers(); err != nil {
 		return nil, err
@@ -153,31 +155,33 @@ func (s *Server) Start(ctlLn, dataLn net.Listener, nsAddr string) error {
 	s.mu.Lock()
 	s.ns = ns
 	s.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := ns.Register(ctx, nameserver.ServerInfo{
+	info := nameserver.ServerInfo{
 		ID:          s.cfg.ID,
 		ControlAddr: s.ctlAddr,
 		DataAddr:    s.dataAddr,
 		Host:        s.cfg.Host,
 		Pod:         s.cfg.Pod,
 		Rack:        s.cfg.Rack,
-	}); err != nil {
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ns.Register(ctx, info); err != nil {
 		return err
 	}
 
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.heartbeatLoop(ns)
+		s.heartbeatLoop(nsAddr, info)
 	}()
 	return nil
 }
 
-// heartbeatLoop reports liveness until the server closes. Send failures
-// are logged and retried on the next tick; the nameserver treats a long
-// silence as death.
-func (s *Server) heartbeatLoop(ns *nameserver.Client) {
+// heartbeatLoop reports liveness until the server closes. A failed
+// heartbeat tears the connection down; the next tick redials and
+// re-registers, so a restarted nameserver relearns this server instead
+// of declaring it dead forever.
+func (s *Server) heartbeatLoop(nsAddr string, info nameserver.ServerInfo) {
 	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
 	defer ticker.Stop()
 	for {
@@ -186,11 +190,44 @@ func (s *Server) heartbeatLoop(ns *nameserver.Client) {
 			return
 		case <-ticker.C:
 		}
+		s.mu.Lock()
+		ns := s.ns
+		s.mu.Unlock()
+		if ns == nil {
+			c, err := nameserver.DialTimeout(nsAddr, s.cfg.HeartbeatInterval)
+			if err != nil {
+				s.logf("dataserver %s: nameserver redial: %v", s.cfg.ID, err)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
+			err = c.Register(ctx, info)
+			cancel()
+			if err != nil {
+				s.logf("dataserver %s: re-register: %v", s.cfg.ID, err)
+				c.Close()
+				continue
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				c.Close()
+				return
+			}
+			s.ns = c
+			s.mu.Unlock()
+			ns = c
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
 		err := ns.Heartbeat(ctx, s.cfg.ID)
 		cancel()
 		if err != nil {
 			s.logf("dataserver %s: heartbeat: %v", s.cfg.ID, err)
+			ns.Close()
+			s.mu.Lock()
+			if s.ns == ns {
+				s.ns = nil
+			}
+			s.mu.Unlock()
 		}
 	}
 }
@@ -223,12 +260,21 @@ func (s *Server) Close() error {
 	for _, p := range s.peers {
 		peers = append(peers, p)
 	}
+	conns := make([]net.Conn, 0, len(s.dataConns))
+	for conn := range s.dataConns {
+		conns = append(conns, conn)
+	}
 	s.mu.Unlock()
 
 	close(s.beatStop)
 	err := s.ctl.Close()
 	if dataLn != nil {
 		dataLn.Close()
+	}
+	// Sever in-flight bulk streams: a killed server must interrupt its
+	// readers (so their failover fires), not leave them mid-stream.
+	for _, conn := range conns {
+		conn.Close()
 	}
 	if ns != nil {
 		ns.Close()
@@ -512,10 +558,23 @@ func (s *Server) serveData(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.dataConns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.dataConns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.serveOneRead(conn)
 		}()
 	}

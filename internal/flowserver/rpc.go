@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
@@ -129,6 +130,15 @@ func NewRPCClient(c *wire.Client) *RPCClient { return &RPCClient{c: c} }
 // DialRPC connects to a Flowserver at addr.
 func DialRPC(addr string) (*RPCClient, error) {
 	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("flowserver: dial: %w", err)
+	}
+	return NewRPCClient(c), nil
+}
+
+// DialRPCTimeout connects a Flowserver client with a bounded TCP connect.
+func DialRPCTimeout(addr string, timeout time.Duration) (*RPCClient, error) {
+	c, err := wire.DialTimeout(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("flowserver: dial: %w", err)
 	}

@@ -1,0 +1,179 @@
+package maxmin
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeScenario turns an arbitrary fuzz payload into a valid allocation
+// problem: the first bytes size the link set, the rest stream out flows
+// (demand byte + up to three link bytes each). Every byte pattern decodes
+// to something Allocate must handle.
+func decodeScenario(data []byte) ([]float64, []Flow) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	nLinks := 1 + int(data[0]%16)
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		caps[i] = 1 // overwritten below when bytes remain
+	}
+	pos := 1
+	for i := range caps {
+		if pos >= len(data) {
+			break
+		}
+		// Capacities from 0 (a dead link is legal) to 25.5.
+		caps[i] = float64(data[pos]) / 10
+		pos++
+	}
+	var flows []Flow
+	for pos < len(data) {
+		d := data[pos]
+		pos++
+		demand := math.Inf(1)
+		switch {
+		case d%4 == 0:
+			demand = float64(d) / 8 // bounded, possibly zero
+		case d%4 == 1:
+			demand = 0
+		}
+		nl := int(d%3) + 1
+		seen := make(map[int]bool)
+		var links []int
+		for j := 0; j < nl && pos < len(data); j++ {
+			l := int(data[pos]) % nLinks
+			pos++
+			if !seen[l] {
+				seen[l] = true
+				links = append(links, l)
+			}
+		}
+		flows = append(flows, Flow{Links: links, Demand: demand})
+	}
+	return caps, flows
+}
+
+// checkAllocation asserts the three max-min invariants on an allocation:
+// no flow above its demand, no link above its capacity, and every
+// demand-unsatisfied flow bottlenecked on a saturated link where it holds
+// (one of) the largest rates.
+func checkAllocation(t *testing.T, caps []float64, flows []Flow, rates []float64) {
+	t.Helper()
+	if len(rates) != len(flows) {
+		t.Fatalf("got %d rates for %d flows", len(rates), len(flows))
+	}
+	load := make([]float64, len(caps))
+	for i, fl := range flows {
+		if math.IsNaN(rates[i]) {
+			t.Fatalf("flow %d: rate is NaN", i)
+		}
+		if rates[i] < -tol {
+			t.Fatalf("flow %d: negative rate %g", i, rates[i])
+		}
+		if rates[i] > fl.Demand+tol {
+			t.Fatalf("flow %d: rate %g exceeds demand %g", i, rates[i], fl.Demand)
+		}
+		for _, l := range fl.Links {
+			load[l] += rates[i]
+		}
+	}
+	for l := range caps {
+		if load[l] > caps[l]*(1+tol)+tol {
+			t.Fatalf("link %d: load %g exceeds capacity %g", l, load[l], caps[l])
+		}
+	}
+	for i, fl := range flows {
+		if rates[i] >= fl.Demand-tol || len(fl.Links) == 0 {
+			continue // demand-limited (or unconstrained) flows need no bottleneck
+		}
+		bottlenecked := false
+		for _, l := range fl.Links {
+			if load[l] < caps[l]*(1-1e-4) {
+				continue // not saturated
+			}
+			isMax := true
+			for j, fj := range flows {
+				if j == i {
+					continue
+				}
+				for _, lj := range fj.Links {
+					if lj == l && rates[j] > rates[i]+1e-4*(1+rates[i]) {
+						isMax = false
+					}
+				}
+			}
+			if isMax {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			t.Fatalf("flow %d (rate %g, demand %g) has no bottleneck link; caps=%v flows=%+v rates=%v",
+				i, rates[i], fl.Demand, caps, flows, rates)
+		}
+	}
+}
+
+// FuzzAllocate feeds arbitrary byte-decoded scenarios through the
+// water-filling allocator and checks the max-min invariants on every
+// output. Run `go test -fuzz=FuzzAllocate ./internal/maxmin` to explore
+// beyond the seed corpus.
+func FuzzAllocate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x64, 0xff, 0x00, 0xff, 0x00})          // one link, two flows
+	f.Add([]byte{0x03, 0x28, 0x64, 0x0a, 0x02, 0x00, 0x01})    // bottleneck chain
+	f.Add([]byte{0x10, 0x00, 0x00, 0x01, 0x00, 0x05, 0x00})    // zero-capacity links
+	f.Add([]byte{0x02, 0xff, 0xff, 0x04, 0x00, 0x04, 0x01, 7}) // bounded demands
+	f.Add([]byte{0x05, 1, 2, 3, 4, 5, 0xfe, 0, 1, 0xfe, 2, 3}) // multi-link flows
+	f.Fuzz(func(t *testing.T, data []byte) {
+		caps, flows := decodeScenario(data)
+		rates := Allocate(caps, flows)
+		checkAllocation(t, caps, flows, rates)
+	})
+}
+
+// FuzzSharesWithNewFlow checks the Flowserver's single-link estimator:
+// the sum of shares never exceeds capacity, no existing flow's share
+// rises above its current demand, and the new flow's share is
+// non-negative and within its demand.
+func FuzzSharesWithNewFlow(f *testing.F) {
+	f.Add(10.0, []byte{20, 20, 60}, -1.0)
+	f.Add(10.0, []byte{100}, 3.0)
+	f.Add(0.0, []byte{5}, 5.0)
+	f.Fuzz(func(t *testing.T, capBps float64, raw []byte, newDemand float64) {
+		if math.IsNaN(capBps) || capBps < 0 || capBps > 1e12 {
+			t.Skip()
+		}
+		if math.IsNaN(newDemand) {
+			t.Skip()
+		}
+		if newDemand < 0 {
+			newDemand = math.Inf(1)
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		existing := make([]float64, len(raw))
+		for i, b := range raw {
+			existing[i] = float64(b) / 10
+		}
+		shares, nf := SharesWithNewFlow(capBps, existing, newDemand)
+		if math.IsNaN(nf) || nf < -tol || nf > newDemand+tol {
+			t.Fatalf("new flow share %g out of [0, %g]", nf, newDemand)
+		}
+		total := nf
+		for i, s := range shares {
+			if s > existing[i]+tol {
+				t.Fatalf("existing flow %d raised from %g to %g", i, existing[i], s)
+			}
+			if s < -tol {
+				t.Fatalf("existing flow %d negative share %g", i, s)
+			}
+			total += s
+		}
+		if total > capBps*(1+tol)+tol {
+			t.Fatalf("shares total %g exceed capacity %g", total, capBps)
+		}
+	})
+}

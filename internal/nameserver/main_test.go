@@ -1,0 +1,14 @@
+package nameserver
+
+import (
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks goroutines — every
+// server, replica group, and RPC client a test starts must be torn
+// down, or a stack dump of the stragglers is printed.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

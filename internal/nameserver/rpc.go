@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -128,6 +129,15 @@ func NewClient(c *wire.Client) *Client { return &Client{c: c} }
 // Dial connects to a nameserver at addr.
 func Dial(addr string) (*Client, error) {
 	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("nameserver: dial: %w", err)
+	}
+	return NewClient(c), nil
+}
+
+// DialTimeout connects a nameserver client with a bounded TCP connect.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c, err := wire.DialTimeout(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("nameserver: dial: %w", err)
 	}

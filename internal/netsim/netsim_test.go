@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
@@ -307,6 +308,7 @@ func TestManyFlowsConservation(t *testing.T) {
 		}
 		s.Run()
 		if s.NumActiveFlows() != 0 {
+			t.Logf("seed %d: %d flows still active after Run", seed, s.NumActiveFlows())
 			return false
 		}
 		var delivered float64
@@ -315,12 +317,17 @@ func TestManyFlowsConservation(t *testing.T) {
 			bits := s.LinkTransferred(down)
 			delivered += bits
 			if bits > topo.Link(down).Capacity*lastEnd*(1+tol)+tol {
+				t.Logf("seed %d: downlink of %v carried %g bits in %g s, over capacity", seed, h, bits, lastEnd)
 				return false
 			}
 		}
-		return math.Abs(delivered-total) <= tol*(1+total)
+		if math.Abs(delivered-total) > tol*(1+total) {
+			t.Logf("seed %d: delivered %g bits of %g started", seed, delivered, total)
+			return false
+		}
+		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: testutil.Rand(t, 17)}); err != nil {
 		t.Error(err)
 	}
 }
@@ -331,7 +338,7 @@ func BenchmarkSimThousandFlows(b *testing.B) {
 		b.Fatal(err)
 	}
 	hosts := topo.Hosts()
-	r := rand.New(rand.NewSource(9))
+	r := testutil.Rand(b, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := New(topo)

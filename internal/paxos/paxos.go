@@ -309,7 +309,7 @@ func (n *Node) bumpRound(b Ballot) {
 // no accepted value. It lets a replica that missed Learn messages close
 // the gaps in its log so later entries can apply.
 func (n *Node) CatchUp(ctx context.Context) error {
-	for {
+	for attempt := 0; ; {
 		n.mu.Lock()
 		var target int64 = -1
 		for s := n.nextApply; s <= n.maxSeen; s++ {
@@ -323,7 +323,15 @@ func (n *Node) CatchUp(ctx context.Context) error {
 			return nil
 		}
 		if _, err := n.runSlot(ctx, target, nil); err != nil {
-			return err
+			// Ballot races against live proposers are routine for a
+			// recovering replica — back off and retry with the bumped
+			// round, like Propose, until the context expires.
+			attempt++
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("paxos: catch up slot %d: %w", target, err)
+			case <-time.After(time.Duration(1+attempt%5) * 5 * time.Millisecond):
+			}
 		}
 	}
 }

@@ -1,0 +1,59 @@
+package repair
+
+import (
+	"context"
+	"sync"
+)
+
+// Monitor drives repeated repair passes and deduplicates death
+// declarations: a server is declared dead exactly once per down episode.
+// A server whose heartbeat resumes is cleared, so a later genuine death
+// is declared again.
+type Monitor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	declared map[string]bool
+}
+
+// NewMonitor creates a monitor over the given repair configuration.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg, declared: make(map[string]bool)}
+}
+
+// Pass runs one repair pass. The returned Result.Dead lists only servers
+// newly declared dead by this pass — servers already declared by an
+// earlier pass (and still dead) are repaired against but not re-announced.
+func (m *Monitor) Pass(ctx context.Context) (*Result, error) {
+	res, err := Run(ctx, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := make(map[string]bool, len(res.Dead))
+	fresh := make([]string, 0, len(res.Dead))
+	for _, id := range res.Dead {
+		cur[id] = true
+		if !m.declared[id] {
+			m.declared[id] = true
+			fresh = append(fresh, id)
+		}
+	}
+	for id := range m.declared {
+		if !cur[id] {
+			// The heartbeat resumed; the next silence is a new episode.
+			delete(m.declared, id)
+		}
+	}
+	res.Dead = fresh
+	return res, nil
+}
+
+// Declared reports whether the monitor currently considers the server
+// declared dead.
+func (m *Monitor) Declared(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.declared[id]
+}

@@ -1,0 +1,288 @@
+package repair
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// TestMonitorDeclaresDeadExactlyOnce: the first pass after a death
+// announces the server and repairs; later passes during the same down
+// episode announce nothing and repair nothing.
+func TestMonitorDeclaresDeadExactlyOnce(t *testing.T) {
+	f := startFixture(t, 4)
+	createFile(t, f, "once", bytes.Repeat([]byte("a"), 200))
+
+	f.servers[1].Close()
+	time.Sleep(150 * time.Millisecond)
+
+	m := NewMonitor(Config{Service: f.svc, DeadAfter: 100 * time.Millisecond})
+	res, err := m.Pass(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dead) != 1 || res.Dead[0] != "ds-1" {
+		t.Fatalf("first pass Dead = %v, want [ds-1]", res.Dead)
+	}
+	if res.Repaired != 1 {
+		t.Fatalf("first pass Repaired = %d, want 1", res.Repaired)
+	}
+	if !m.Declared("ds-1") {
+		t.Fatal("ds-1 not recorded as declared")
+	}
+
+	for pass := 2; pass <= 3; pass++ {
+		res, err = m.Pass(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Dead) != 0 {
+			t.Fatalf("pass %d re-announced %v", pass, res.Dead)
+		}
+		if res.Repaired != 0 || len(res.Faults) != 0 {
+			t.Fatalf("pass %d = %+v, want nothing to do", pass, res)
+		}
+	}
+}
+
+// TestMonitorFlapClearsDeclaration: a server whose heartbeat resumes is
+// no longer declared, and a later genuine death is announced as a fresh
+// episode.
+func TestMonitorFlapClearsDeclaration(t *testing.T) {
+	f := startFixture(t, 4)
+	// ds-3 holds no file, so its death is declaration-only.
+	f.servers[3].Close()
+	time.Sleep(150 * time.Millisecond)
+
+	m := NewMonitor(Config{Service: f.svc, DeadAfter: 100 * time.Millisecond})
+	res, err := m.Pass(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dead) != 1 || res.Dead[0] != "ds-3" {
+		t.Fatalf("Dead = %v, want [ds-3]", res.Dead)
+	}
+
+	// The heartbeat resumes (flap): the declaration must clear.
+	if err := f.svc.Heartbeat("ds-3"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Pass(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dead) != 0 {
+		t.Fatalf("Dead after flap = %v, want none", res.Dead)
+	}
+	if m.Declared("ds-3") {
+		t.Fatal("declaration survived a heartbeat resume")
+	}
+
+	// Silence again: a new episode gets a new declaration.
+	time.Sleep(150 * time.Millisecond)
+	res, err = m.Pass(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dead) != 1 || res.Dead[0] != "ds-3" {
+		t.Fatalf("Dead after second silence = %v, want [ds-3]", res.Dead)
+	}
+}
+
+// TestRepairFlappingServerNotStripped: when a declared-dead server's
+// heartbeat resumes mid-pass, the pass stops repairing against it — a
+// recovered server must not have its remaining replicas stripped.
+func TestRepairFlappingServerNotStripped(t *testing.T) {
+	f := startFixture(t, 4)
+	payload := bytes.Repeat([]byte("b"), 150)
+	createFile(t, f, "file-a", payload)
+	createFile(t, f, "file-b", payload)
+
+	f.servers[1].Close()
+	time.Sleep(150 * time.Millisecond)
+
+	// The Dial hook fires once repair of the first file (List order:
+	// file-a) is underway; resuming ds-1's heartbeat there means the
+	// stillDead recheck fails before file-b is touched.
+	var once sync.Once
+	dial := func(addr string) (*wire.Client, error) {
+		once.Do(func() {
+			if err := f.svc.Heartbeat("ds-1"); err != nil {
+				t.Errorf("heartbeat: %v", err)
+			}
+		})
+		return wire.Dial(addr)
+	}
+	res, err := Run(context.Background(), Config{
+		Service:   f.svc,
+		DeadAfter: 100 * time.Millisecond,
+		Dial:      dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dead) != 1 || res.Dead[0] != "ds-1" {
+		t.Fatalf("Dead = %v, want [ds-1]", res.Dead)
+	}
+	if res.Repaired != 1 || len(res.Faults) != 0 || len(res.Lost) != 0 {
+		t.Fatalf("result = %+v, want exactly one repair", res)
+	}
+	// file-a was repaired away from ds-1; file-b kept its ds-1 replica.
+	fa, err := f.svc.Lookup("file-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := f.svc.Lookup("file-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holdsReplica(fa, "ds-1") {
+		t.Errorf("file-a still on ds-1 after repair: %v", replicaIDs(fa))
+	}
+	if !holdsReplica(fb, "ds-1") {
+		t.Errorf("file-b stripped from flapped ds-1: %v", replicaIDs(fb))
+	}
+}
+
+func holdsReplica(fi nameserver.FileInfo, id string) bool {
+	for _, r := range fi.Replicas {
+		if r.ServerID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func replicaIDs(fi nameserver.FileInfo) []string {
+	ids := make([]string, len(fi.Replicas))
+	for i, r := range fi.Replicas {
+		ids[i] = r.ServerID
+	}
+	return ids
+}
+
+// newPlacementService builds a bare nameserver (no RPC, no dataservers)
+// for placement-only tests, with a deterministic rng.
+func newPlacementService(t *testing.T, seed int64) *nameserver.Service {
+	t.Helper()
+	store, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	svc, err := nameserver.NewService(store, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func register(t *testing.T, svc *nameserver.Service, id string, pod, rack int) {
+	t.Helper()
+	err := svc.RegisterServer(nameserver.ServerInfo{
+		ID:          id,
+		ControlAddr: "127.0.0.1:1",
+		DataAddr:    "127.0.0.1:2",
+		Host:        fmt.Sprintf("host-p%d-r%d-h0", pod, rack),
+		Pod:         pod,
+		Rack:        rack,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlaceReplacementRespectsFaultDomains: while a rack the file does
+// not occupy has a live candidate, the replacement never lands in an
+// already-used rack — across seeds, so it is a property of the
+// candidate filtering, not of one lucky rng draw.
+func TestPlaceReplacementRespectsFaultDomains(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		svc := newPlacementService(t, seed)
+		// Used racks: (0,0) and (0,1). Same-rack spares exist on both,
+		// plus one fresh-rack candidate in (0,2) and one in pod 1 rack 0
+		// (a distinct [pod, rack] fault domain despite the rack number).
+		register(t, svc, "used-a", 0, 0)
+		register(t, svc, "spare-r0", 0, 0)
+		register(t, svc, "used-b", 0, 1)
+		register(t, svc, "spare-r1", 0, 1)
+		register(t, svc, "fresh", 0, 2)
+		register(t, svc, "fresh-pod1", 1, 0)
+		fi := nameserver.FileInfo{
+			Name: "f",
+			Replicas: []nameserver.ReplicaLoc{
+				{ServerID: "used-a"},
+				{ServerID: "used-b"},
+			},
+		}
+		repl, err := svc.PlaceReplacement(fi, []string{"used-b"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repl.ServerID != "fresh" && repl.ServerID != "fresh-pod1" {
+			t.Fatalf("seed %d: replacement %s landed in a used rack", seed, repl.ServerID)
+		}
+	}
+}
+
+// TestPlaceReplacementFallsBackToUsedRack: with no fresh rack available
+// the placement degrades to any live server rather than failing, and it
+// still never picks a dead or already-holding server.
+func TestPlaceReplacementFallsBackToUsedRack(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		svc := newPlacementService(t, seed)
+		register(t, svc, "used-a", 0, 0)
+		register(t, svc, "used-b", 0, 1)
+		register(t, svc, "spare-r1", 0, 1) // only candidate, in a used rack
+		fi := nameserver.FileInfo{
+			Name: "f",
+			Replicas: []nameserver.ReplicaLoc{
+				{ServerID: "used-a"},
+				{ServerID: "used-b"},
+			},
+		}
+		repl, err := svc.PlaceReplacement(fi, []string{"used-b"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repl.ServerID != "spare-r1" {
+			t.Fatalf("seed %d: replacement = %s, want spare-r1", seed, repl.ServerID)
+		}
+	}
+
+	// And with genuinely no candidate, a clear error — not a panic.
+	svc := newPlacementService(t, 1)
+	register(t, svc, "used-a", 0, 0)
+	fi := nameserver.FileInfo{Name: "f", Replicas: []nameserver.ReplicaLoc{{ServerID: "used-a"}}}
+	if _, err := svc.PlaceReplacement(fi, nil, nil); err == nil {
+		t.Fatal("placement with no candidates succeeded")
+	}
+}
+
+// TestPlaceReplacementHonorsAliveFilter: the alive callback vetoes
+// candidates (repair passes it the not-in-dead-set predicate).
+func TestPlaceReplacementHonorsAliveFilter(t *testing.T) {
+	svc := newPlacementService(t, 3)
+	register(t, svc, "used-a", 0, 0)
+	register(t, svc, "dead-fresh", 0, 1)
+	register(t, svc, "live-fresh", 0, 2)
+	fi := nameserver.FileInfo{Name: "f", Replicas: []nameserver.ReplicaLoc{{ServerID: "used-a"}}}
+	alive := func(si nameserver.ServerInfo) bool { return si.ID != "dead-fresh" }
+	for i := 0; i < 20; i++ {
+		repl, err := svc.PlaceReplacement(fi, nil, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repl.ServerID != "live-fresh" {
+			t.Fatalf("replacement = %s, want live-fresh", repl.ServerID)
+		}
+	}
+}

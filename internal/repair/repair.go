@@ -84,9 +84,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	alive := func(si nameserver.ServerInfo) bool { return !deadSet[si.ID] }
 
+	// stillDead re-checks a declared-dead server against the live
+	// heartbeat state, so a flapping server (heartbeat resumed mid-pass)
+	// stops being repaired against as soon as it recovers — repairing a
+	// recovered server would strip it of replicas it still holds.
+	stillDead := func(id string) bool {
+		for _, si := range svc.DeadServers(time.Now().Add(-cfg.DeadAfter)) {
+			if si.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+
 	for _, fi := range svc.List("") {
 		for _, rep := range fi.Replicas {
 			if !deadSet[rep.ServerID] {
+				continue
+			}
+			if !stillDead(rep.ServerID) {
+				delete(deadSet, rep.ServerID)
 				continue
 			}
 			// Re-read the record: an earlier iteration may have already
@@ -97,10 +114,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			if err := repairOne(ctx, svc, dial, cur, rep.ServerID, deadSet, alive); err != nil {
 				if isLost(err) {
+					// Every replica is dead: count the file once, not
+					// once per dead replica.
 					res.Lost = append(res.Lost, fi.Name)
-				} else {
-					res.Faults = append(res.Faults, FileFault{Name: fi.Name, Err: err})
+					break
 				}
+				res.Faults = append(res.Faults, FileFault{Name: fi.Name, Err: err})
 				continue
 			}
 			res.Repaired++

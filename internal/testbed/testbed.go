@@ -119,6 +119,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	clients map[string]*client.Client
+	extra   []*client.Client
 	rng     *rand.Rand
 	closed  bool
 }
@@ -140,6 +141,10 @@ type ClusterConfig struct {
 	Seed int64
 	// MultiReplica enables §4.3 split reads (ModeMayflower only).
 	MultiReplica bool
+	// HeartbeatInterval is how often dataservers report liveness
+	// (dataserver default if zero). Fault-injection tests shrink it so
+	// death detection fits in test time.
+	HeartbeatInterval time.Duration
 }
 
 // NewCluster boots a deployment and blocks until every component is
@@ -270,12 +275,13 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 		node := c.Topo.Node(h)
 		id := fmt.Sprintf("ds-%02d", i)
 		ds, err := dataserver.New(dataserver.Config{
-			ID:    id,
-			Root:  fmt.Sprintf("%s/%s", c.workDir, id),
-			Host:  node.Name,
-			Pod:   node.Pod,
-			Rack:  node.Rack,
-			Pacer: c.Net,
+			ID:                id,
+			Root:              fmt.Sprintf("%s/%s", c.workDir, id),
+			Host:              node.Name,
+			Pod:               node.Pod,
+			Rack:              node.Rack,
+			Pacer:             c.Net,
+			HeartbeatInterval: cfg.HeartbeatInterval,
 		})
 		if err != nil {
 			return err
@@ -371,6 +377,25 @@ func (c *Cluster) Client(host topology.NodeID) (*client.Client, error) {
 	if cl, ok := c.clients[name]; ok {
 		return cl, nil
 	}
+	cl, err := client.New(c.clientOptionsLocked(name))
+	if err != nil {
+		return nil, err
+	}
+	c.clients[name] = cl
+	return cl, nil
+}
+
+// ClientOptions returns the client options the cluster would use for a
+// client on the given host, so harnesses can tweak them (fault-injection
+// dialers, shorter timeouts) and build their own clients via NewClient.
+func (c *Cluster) ClientOptions(host topology.NodeID) client.Options {
+	name := c.Topo.Node(host).Name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientOptionsLocked(name)
+}
+
+func (c *Cluster) clientOptionsLocked(name string) client.Options {
 	opts := client.Options{
 		NameserverAddr: c.nsAddr,
 		Host:           name,
@@ -388,12 +413,61 @@ func (c *Cluster) Client(host topology.NodeID) (*client.Client, error) {
 			return c.assignECMPFlow(replicaHost, name)
 		}
 	}
+	return opts
+}
+
+// NewClient builds an extra client with the cluster's options for the
+// host after applying mutate (nil for stock options). Unlike Client, the
+// result is not shared or cached, but it is closed with the cluster.
+func (c *Cluster) NewClient(host topology.NodeID, mutate func(*client.Options)) (*client.Client, error) {
+	name := c.Topo.Node(host).Name
+	c.mu.Lock()
+	opts := c.clientOptionsLocked(name)
+	c.mu.Unlock()
+	if mutate != nil {
+		mutate(&opts)
+	}
 	cl, err := client.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	c.clients[name] = cl
+	c.mu.Lock()
+	c.extra = append(c.extra, cl)
+	c.mu.Unlock()
 	return cl, nil
+}
+
+// NameserverService exposes the in-process nameserver for liveness
+// inspection and repair passes.
+func (c *Cluster) NameserverService() *nameserver.Service { return c.nsSvc }
+
+// DataserverAddrs returns the control and data endpoint addresses of the
+// dataserver on the named host, so fault injectors can map dial targets
+// back to topology locations.
+func (c *Cluster) DataserverAddrs(hostName string) (ctlAddr, dataAddr string, err error) {
+	ds, ok := c.servers[hostName]
+	if !ok {
+		return "", "", fmt.Errorf("testbed: no dataserver on host %q", hostName)
+	}
+	return ds.ControlAddr(), ds.DataAddr(), nil
+}
+
+// KillDataserver abruptly stops the dataserver on the named host
+// (severing in-flight reads and stopping heartbeats) and returns its
+// server id. The process stays down for the cluster's lifetime — the
+// repair path, not a restart, restores replication.
+func (c *Cluster) KillDataserver(hostName string) (string, error) {
+	ds, ok := c.servers[hostName]
+	if !ok {
+		return "", fmt.Errorf("testbed: no dataserver on host %q", hostName)
+	}
+	var id string
+	for node, sid := range c.serverIDs {
+		if c.Topo.Node(node).Name == hostName {
+			id = sid
+		}
+	}
+	return id, ds.Close()
 }
 
 // assignECMPFlow registers an ECMP-selected path for a transfer from
@@ -431,10 +505,11 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
-	clients := make([]*client.Client, 0, len(c.clients))
+	clients := make([]*client.Client, 0, len(c.clients)+len(c.extra))
 	for _, cl := range c.clients {
 		clients = append(clients, cl)
 	}
+	clients = append(clients, c.extra...)
 	c.mu.Unlock()
 
 	if c.fs != nil {

@@ -1,0 +1,63 @@
+// Package testutil holds helpers shared by the package test suites:
+// deterministic seeded randomness that announces its seed in the test
+// log, and a goroutine-leak check for TestMain.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Rand returns a deterministic rng for the test and logs the seed, so a
+// failure report (or -v run) always states which seed produced it. Tests
+// must derive all randomness from explicit seeds — never the global
+// source — so any failure replays exactly.
+func Rand(tb testing.TB, seed int64) *rand.Rand {
+	tb.Helper()
+	tb.Logf("rng seed: %d", seed)
+	return rand.New(rand.NewSource(seed))
+}
+
+// leakSlack is how many goroutines above the pre-run baseline are
+// tolerated after tests finish; the runtime keeps a few service
+// goroutines alive whose lifecycle the test suite does not control.
+const leakSlack = 2
+
+// VerifyNoLeaks runs the test binary via m.Run and then fails it if
+// goroutines spawned during the tests are still running once everything
+// has had a chance to wind down. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
+//
+// Servers, clients, and monitors started by tests must therefore be
+// closed by the tests that start them (t.Cleanup), or the whole package
+// fails with a full stack dump of the stragglers.
+func VerifyNoLeaks(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		// Closed connections and servers need a moment to unwind their
+		// reader goroutines; poll instead of asserting instantly.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before+leakSlack {
+				break
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				fmt.Fprintf(os.Stderr,
+					"goroutine leak: %d goroutines alive after tests, %d before\n\n%s\n",
+					runtime.NumGoroutine(), before, buf[:n])
+				code = 1
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}

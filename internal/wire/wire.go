@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrame bounds a single message; control messages are small, so this
@@ -268,6 +269,16 @@ type Client struct {
 // Dial connects to a wire server at addr.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// DialTimeout connects to a wire server, bounding the TCP connect so a
+// dead or partitioned peer surfaces as an error instead of a hang.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}

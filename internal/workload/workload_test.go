@@ -2,9 +2,9 @@ package workload
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
@@ -18,7 +18,7 @@ func testTopo(t *testing.T) *topology.Topology {
 }
 
 func TestZipfValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.Rand(t, 1)
 	if _, err := NewZipf(rng, 1.1, 0); err == nil {
 		t.Error("NewZipf(n=0) should error")
 	}
@@ -35,7 +35,7 @@ func TestZipfValidation(t *testing.T) {
 }
 
 func TestZipfSkew(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.Rand(t, 2)
 	const n = 1000
 	z, err := NewZipf(rng, 1.1, n)
 	if err != nil {
@@ -85,7 +85,7 @@ func TestLocalityValidate(t *testing.T) {
 
 func TestPlaceReplicasPaperEval(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(t, 3)
 	for trial := 0; trial < 200; trial++ {
 		reps, err := PlaceReplicas(topo, rng, PlacementPaperEval, 3)
 		if err != nil {
@@ -116,7 +116,7 @@ func TestPlaceReplicasPaperEval(t *testing.T) {
 
 func TestPlaceReplicasRackPair(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.Rand(t, 4)
 	for trial := 0; trial < 200; trial++ {
 		reps, err := PlaceReplicas(topo, rng, PlacementRackPair, 3)
 		if err != nil {
@@ -133,7 +133,7 @@ func TestPlaceReplicasRackPair(t *testing.T) {
 
 func TestPlaceReplicasErrors(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(5))
+	rng := testutil.Rand(t, 5)
 	if _, err := PlaceReplicas(topo, rng, PlacementPaperEval, 0); err == nil {
 		t.Error("replication 0 accepted")
 	}
@@ -147,7 +147,7 @@ func TestPlaceReplicasErrors(t *testing.T) {
 
 func TestPlaceClientDistribution(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(6))
+	rng := testutil.Rand(t, 6)
 	primary := topo.HostAt(1, 2, 3)
 	loc := LocalityRackHeavy
 
@@ -185,7 +185,7 @@ func TestPlaceClientDistribution(t *testing.T) {
 
 func TestNewCatalog(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.Rand(t, 7)
 	cat, err := NewCatalog(topo, rng, CatalogConfig{
 		NumFiles:    50,
 		SizeBits:    256 * 8e6,
@@ -220,7 +220,7 @@ func TestNewCatalog(t *testing.T) {
 
 func TestGenerateTrace(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(8))
+	rng := testutil.Rand(t, 8)
 	cat, err := NewCatalog(topo, rng, CatalogConfig{
 		NumFiles: 100, SizeBits: 1e6, Replication: 3, Placement: PlacementPaperEval,
 	})
@@ -266,7 +266,7 @@ func TestGenerateTrace(t *testing.T) {
 
 func TestGenerateValidation(t *testing.T) {
 	topo := testTopo(t)
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.Rand(t, 9)
 	cat, err := NewCatalog(topo, rng, CatalogConfig{
 		NumFiles: 5, SizeBits: 1e6, Replication: 3, Placement: PlacementPaperEval,
 	})
@@ -300,7 +300,7 @@ func TestGenerateValidation(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	topo := testTopo(t)
 	gen := func() []Job {
-		rng := rand.New(rand.NewSource(42))
+		rng := testutil.Rand(t, 42)
 		cat, err := NewCatalog(topo, rng, CatalogConfig{
 			NumFiles: 20, SizeBits: 1e6, Replication: 3, Placement: PlacementPaperEval,
 		})
