@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz check clean
+.PHONY: all build vet fmt-check test race fuzz bench check clean
 
 all: build
 
@@ -26,6 +26,15 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzAllocate -fuzztime=30s ./internal/maxmin
 	$(GO) test -fuzz=FuzzSharesWithNewFlow -fuzztime=30s ./internal/maxmin
+
+# bench runs the hot-path selection/churn benchmarks and records the result
+# in BENCH_selection.json, the committed performance baseline for the
+# incremental allocator.
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim \
+		| $(GO) run ./cmd/bench2json > BENCH_selection.json
+	@cat BENCH_selection.json
 
 check: build vet fmt-check race
 

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/mayflower-dfs/mayflower/internal/netsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNetsimChurn/1k-8         	    1000	   1629307 ns/op	  150098 B/op	      18 allocs/op
+BenchmarkNetsimChurn/10k-8        	      20	 374168232 ns/op	 1052857 B/op	      18 allocs/op
+--- BENCH: BenchmarkNetsimChurn/10k
+    bench_test.go:63: rng seed: 42
+PASS
+ok  	github.com/mayflower-dfs/mayflower/internal/netsim	925.211s
+pkg: github.com/mayflower-dfs/mayflower/internal/flowserver
+BenchmarkSelect/1k-8              	     100	   1457535 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkNetsimChurn/10k" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Package != "github.com/mayflower-dfs/mayflower/internal/netsim" {
+		t.Errorf("package = %q", b.Package)
+	}
+	if b.Iters != 20 || b.NsPerOp != 374168232 {
+		t.Errorf("iters/ns = %d/%g", b.Iters, b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1052857 {
+		t.Errorf("bytes_per_op = %v", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 18 {
+		t.Errorf("allocs_per_op = %v", b.AllocsPerOp)
+	}
+
+	sel := rep.Benchmarks[2]
+	if sel.Package != "github.com/mayflower-dfs/mayflower/internal/flowserver" {
+		t.Errorf("package not updated across pkg lines: %q", sel.Package)
+	}
+	if sel.BytesPerOp != nil || sel.AllocsPerOp != nil {
+		t.Error("memory stats invented for a line without -benchmem")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Error("no error for input without benchmark lines")
+	}
+}

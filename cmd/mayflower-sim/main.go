@@ -16,6 +16,7 @@
 //	mayflower-sim -fig all          # everything above
 //
 // Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi.
+// Profiling: -cpuprofile and -memprofile write pprof profiles for the run.
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/mayflower-dfs/mayflower/internal/experiment"
 )
@@ -46,9 +49,36 @@ func run(args []string, out io.Writer) error {
 		oversub = fs.Float64("oversub", 8, "core-to-rack oversubscription ratio")
 		multi   = fs.Bool("multi", false, "enable §4.3 multi-replica reads for the Mayflower scheme")
 		asCSV   = fs.Bool("csv", false, "emit figures 4/5/6a/6b/7 as CSV instead of tables")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mayflower-sim: writing heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	base := experiment.Defaults(experiment.SchemeMayflower)

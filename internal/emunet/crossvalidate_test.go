@@ -63,7 +63,9 @@ func TestEmunetMatchesNetsim(t *testing.T) {
 			},
 		})
 	}
-	sim.Run()
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Measured completion times from the emulated network.
 	net := New(topo)

@@ -215,7 +215,9 @@ func Run(cfg Config) (*Result, error) {
 		r.scheduleBackground(jobs[len(jobs)-1].Time)
 	}
 	r.schedulePolling()
-	r.sim.Run()
+	if err := r.sim.Run(); err != nil {
+		return nil, err
+	}
 
 	if got, want := len(r.res.CompletionTimes)+r.skipped, cfg.NumJobs-cfg.WarmupJobs; got != want {
 		return nil, fmt.Errorf("experiment: recorded %d of %d measured jobs", got, want)

@@ -1,0 +1,55 @@
+package flowserver
+
+import (
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// BenchmarkSelect measures one SelectReplicaAndPath decision against a
+// model already holding n live flows — the §4.2 hot path: every shortest
+// path from three replicas is scored with per-link water-filling over the
+// flows it would share links with.
+func BenchmarkSelect(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"1k", 1000}, {"10k", 10000}} {
+		b.Run(bc.name, func(b *testing.B) {
+			topo, err := topology.New(topology.PaperTestbed(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := New(topo, Options{})
+			r := testutil.Rand(b, 7)
+			hosts := topo.Hosts()
+			for i := 0; i < bc.n; i++ {
+				src := hosts[r.Intn(len(hosts))]
+				dst := hosts[r.Intn(len(hosts))]
+				if src == dst {
+					i--
+					continue
+				}
+				paths := topo.ShortestPaths(src, dst)
+				path := paths[r.Intn(len(paths))]
+				srv.ForceFlow(path, 1e6*(1+r.Float64()*2000), 1e6*(1+r.Float64()*999))
+			}
+			client := topo.HostAt(0, 0, 0)
+			replicas := []topology.NodeID{
+				topo.HostAt(0, 1, 0), topo.HostAt(1, 0, 0), topo.HostAt(2, 2, 3),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				as, err := srv.SelectReplicaAndPath(Request{Client: client, Replicas: replicas, Bits: 256 * 8e6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, a := range as {
+					srv.FlowFinished(a.FlowID)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package flowserver
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
@@ -27,12 +28,7 @@ func (s *Server) ForceFlow(links []topology.LinkID, remaining, bw float64) FlowI
 		lastPoll:  s.now(),
 	}
 	for _, l := range ls {
-		set := s.linkFlows[l]
-		if set == nil {
-			set = make(map[FlowID]struct{})
-			s.linkFlows[l] = set
-		}
-		set[id] = struct{}{}
+		s.linkFlows[l] = insertFlow(s.linkFlows[l], s.flows[id])
 	}
 	return id
 }
@@ -61,17 +57,23 @@ func (s *Server) FlowRemainingEstimate(id FlowID) (float64, bool) {
 }
 
 // CheckInvariants verifies the internal model's consistency: every link
-// index maps only to live flows, every live flow appears on each of its
-// links, and no estimate is negative. Tests call it after random op
-// sequences.
+// index lists only live flows in strictly ascending id order, every live
+// flow appears on each of its links, and no estimate is negative. Tests
+// call it after random op sequences.
 func (s *Server) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for link, set := range s.linkFlows {
-		for id := range set {
-			f, ok := s.flows[id]
+	for link, fs := range s.linkFlows {
+		for i, f := range fs {
+			if i > 0 && fs[i-1].id >= f.id {
+				return fmt.Errorf("link %d index out of order at %d", link, i)
+			}
+			live, ok := s.flows[f.id]
 			if !ok {
-				return fmt.Errorf("link %d references dead flow %d", link, id)
+				return fmt.Errorf("link %d references dead flow %d", link, f.id)
+			}
+			if live != f {
+				return fmt.Errorf("link %d holds a stale state for flow %d", link, f.id)
 			}
 			found := false
 			for _, l := range f.links {
@@ -80,7 +82,7 @@ func (s *Server) CheckInvariants() error {
 				}
 			}
 			if !found {
-				return fmt.Errorf("flow %d indexed on link %d it does not traverse", id, link)
+				return fmt.Errorf("flow %d indexed on link %d it does not traverse", f.id, link)
 			}
 		}
 	}
@@ -89,7 +91,9 @@ func (s *Server) CheckInvariants() error {
 			return fmt.Errorf("flow %d has negative state: bw=%g rem=%g total=%g", id, f.bw, f.remaining, f.totalBits)
 		}
 		for _, l := range f.links {
-			if _, ok := s.linkFlows[l][id]; !ok {
+			fs := s.linkFlows[l]
+			i := sort.Search(len(fs), func(i int) bool { return fs[i].id >= id })
+			if i >= len(fs) || fs[i].id != id {
 				return fmt.Errorf("flow %d missing from link %d index", id, l)
 			}
 		}

@@ -104,11 +104,33 @@ type Server struct {
 	capacity []float64
 	opts     Options
 
-	mu        sync.Mutex
-	clock     float64 // last known time when opts.Now is nil
-	nextID    FlowID
-	flows     map[FlowID]*flowState
-	linkFlows map[int]map[FlowID]struct{}
+	mu     sync.Mutex
+	clock  float64 // last known time when opts.Now is nil
+	nextID FlowID
+	flows  map[FlowID]*flowState
+	// linkFlows[l] holds the flows crossing link l, sorted by ascending
+	// id. It is maintained incrementally by commit, FlowFinished and
+	// restore so path evaluation never collects-and-sorts, and it stores
+	// the flow states directly so the hot path never hits the flows map.
+	linkFlows [][]*flowState
+
+	// Scratch reused across path evaluations (callers hold mu).
+	mm            maxmin.Alloc
+	demandScratch []float64
+	// evalBufs double-buffers the changed-flow sets: the set held by the
+	// current best candidate lives in one slot (two ping-pong buffers for
+	// merging) while the next candidate is evaluated into the other
+	// (bestPath swaps slots on every new best).
+	evalBufs [2][2]changeSet
+	evalIdx  int
+}
+
+// changeSet records the existing flows whose bandwidth estimate changes if
+// a candidate path is chosen, with their new shares. Both slices are
+// parallel and sorted by ascending flow id.
+type changeSet struct {
+	flows  []*flowState
+	shares []float64
 }
 
 // New creates a Flowserver over the given topology.
@@ -122,8 +144,32 @@ func New(topo *topology.Topology, opts Options) *Server {
 		capacity:  capacity,
 		opts:      opts,
 		flows:     make(map[FlowID]*flowState),
-		linkFlows: make(map[int]map[FlowID]struct{}),
+		linkFlows: make([][]*flowState, topo.NumLinks()),
 	}
+}
+
+// insertFlow inserts f into an id-sorted flow slice. Ids are assigned in
+// increasing order, so outside of post-rollback re-commits this is a plain
+// append.
+func insertFlow(fs []*flowState, f *flowState) []*flowState {
+	if n := len(fs); n == 0 || fs[n-1].id < f.id {
+		return append(fs, f)
+	}
+	i := sort.Search(len(fs), func(i int) bool { return fs[i].id >= f.id })
+	fs = append(fs, nil)
+	copy(fs[i+1:], fs[i:])
+	fs[i] = f
+	return fs
+}
+
+// removeFlow removes the flow with the given id from an id-sorted flow
+// slice (no-op when absent).
+func removeFlow(fs []*flowState, id FlowID) []*flowState {
+	i := sort.Search(len(fs), func(i int) bool { return fs[i].id >= id })
+	if i >= len(fs) || fs[i].id != id {
+		return fs
+	}
+	return append(fs[:i], fs[i+1:]...)
 }
 
 func (s *Server) now() float64 {
@@ -205,12 +251,14 @@ func (s *Server) SelectPath(client, replica topology.NodeID, bits float64) (Assi
 type candidate struct {
 	replica topology.NodeID
 	path    topology.Path
-	links   []int
 	bw      float64
 	cost    float64
-	// newShares holds the post-admission share of each existing flow
-	// whose estimate changes if this path is chosen.
-	newShares map[FlowID]float64
+	// changed holds the post-admission share of each existing flow whose
+	// estimate changes if this path is chosen. It aliases one of the
+	// server's eval buffers: valid until the second evalPath after this
+	// candidate becomes best (bestPath swaps slots on every new best),
+	// and consumed by commit.
+	changed *changeSet
 }
 
 // bestPath evaluates all shortest paths from the replicas to the client
@@ -229,6 +277,9 @@ func (s *Server) bestPath(client topology.NodeID, replicas []topology.NodeID, bi
 			if !found || c.cost < best.cost {
 				best = c
 				found = true
+				// Protect the new best's changed set from being
+				// overwritten by the next evaluation.
+				s.evalIdx ^= 1
 			}
 		}
 	}
@@ -238,17 +289,13 @@ func (s *Server) bestPath(client topology.NodeID, replicas []topology.NodeID, bi
 // evalPath computes the Eq. 2 cost of placing a new flow of the given size
 // on the path (Pseudocode 2, FLOWCOST). Caller must hold s.mu.
 func (s *Server) evalPath(replica topology.NodeID, path topology.Path, bits float64) candidate {
-	links := make([]int, len(path))
-	for i, l := range path {
-		links[i] = int(l)
-	}
-
 	// Estimated share of the new flow: water-fill each link with existing
 	// flows demanding their current share and the new flow demanding
 	// infinity; the path share is the bottleneck minimum (MAXMINSHARE).
 	bw := math.Inf(1)
-	for _, l := range links {
-		share := maxmin.ShareOnLink(s.capacity[l], s.demandsOn(l))
+	for _, lid := range path {
+		l := int(lid)
+		share := s.mm.ShareOnLink(s.capacity[l], s.demandsOn(l))
 		if share < bw {
 			bw = share
 		}
@@ -263,33 +310,62 @@ func (s *Server) evalPath(replica topology.NodeID, path topology.Path, bits floa
 
 	// Impact on existing flows: re-water-fill each path link with the new
 	// flow's demand pinned to bw; a flow crossing several path links gets
-	// the most pessimistic (minimum) of its per-link shares.
-	newShares := make(map[FlowID]float64)
-	for _, l := range links {
-		ids, demands := s.flowsOn(l)
-		if len(ids) == 0 {
+	// the most pessimistic (minimum) of its per-link shares. The per-link
+	// flow lists are sorted by id, so min-merging them keeps the changed
+	// set in ascending id order without a per-evaluation sort or map.
+	cur := &s.evalBufs[s.evalIdx][0]
+	nxt := &s.evalBufs[s.evalIdx][1]
+	cur.flows, cur.shares = cur.flows[:0], cur.shares[:0]
+	for _, lid := range path {
+		l := int(lid)
+		onLink := s.linkFlows[l]
+		if len(onLink) == 0 {
 			continue
 		}
-		shares, _ := maxmin.SharesWithNewFlow(s.capacity[l], demands, bw)
-		for i, id := range ids {
-			if prev, ok := newShares[id]; !ok || shares[i] < prev {
-				newShares[id] = shares[i]
+		shares, _ := s.mm.SharesWithNewFlow(s.capacity[l], s.demandsOn(l), bw)
+		if len(cur.flows) == 0 {
+			cur.flows = append(cur.flows, onLink...)
+			cur.shares = append(cur.shares, shares...)
+			continue
+		}
+		nxt.flows, nxt.shares = nxt.flows[:0], nxt.shares[:0]
+		i, j := 0, 0
+		for i < len(cur.flows) && j < len(onLink) {
+			switch {
+			case cur.flows[i].id < onLink[j].id:
+				nxt.flows = append(nxt.flows, cur.flows[i])
+				nxt.shares = append(nxt.shares, cur.shares[i])
+				i++
+			case cur.flows[i].id > onLink[j].id:
+				nxt.flows = append(nxt.flows, onLink[j])
+				nxt.shares = append(nxt.shares, shares[j])
+				j++
+			default:
+				v := cur.shares[i]
+				if shares[j] < v {
+					v = shares[j]
+				}
+				nxt.flows = append(nxt.flows, cur.flows[i])
+				nxt.shares = append(nxt.shares, v)
+				i++
+				j++
 			}
 		}
+		nxt.flows = append(nxt.flows, cur.flows[i:]...)
+		nxt.shares = append(nxt.shares, cur.shares[i:]...)
+		nxt.flows = append(nxt.flows, onLink[j:]...)
+		nxt.shares = append(nxt.shares, shares[j:]...)
+		cur, nxt = nxt, cur
 	}
-	// Deterministic id order: float summation is not associative, so a
-	// map-order walk would make equal-cost comparisons (and therefore
-	// selections) run-dependent.
-	changed := make([]FlowID, 0, len(newShares))
-	for id := range newShares {
-		changed = append(changed, id)
-	}
-	sort.Slice(changed, func(i, j int) bool { return changed[i] < changed[j] })
-	for _, id := range changed {
-		nbw := newShares[id]
-		f := s.flows[id]
+	// Walk the changed set in ascending id order — float summation is not
+	// associative, so any other order would make equal-cost comparisons
+	// (and therefore selections) run-dependent — dropping flows whose
+	// share does not actually change (they contribute no cost and must
+	// not be re-frozen by commit).
+	keep := 0
+	for i, f := range cur.flows {
+		nbw := cur.shares[i]
 		if nbw >= f.bw-bwEps || f.remaining <= 0 {
-			delete(newShares, id) // unchanged flows contribute no cost
 			continue
 		}
 		if !s.opts.DisableImpactTerm {
@@ -299,37 +375,26 @@ func (s *Server) evalPath(replica topology.NodeID, path topology.Path, bits floa
 				cost += f.remaining/nbw - f.remaining/f.bw
 			}
 		}
+		cur.flows[keep], cur.shares[keep] = f, nbw
+		keep++
 	}
-	return candidate{replica: replica, path: path, links: links, bw: bw, cost: cost, newShares: newShares}
+	cur.flows, cur.shares = cur.flows[:keep], cur.shares[:keep]
+	return candidate{replica: replica, path: path, bw: bw, cost: cost, changed: cur}
 }
 
 const bwEps = 1e-9
 
 // demandsOn returns the current bandwidth-share demands of flows assigned
 // to a link, in flow-id order (the water-filling arithmetic is float and
-// therefore order-sensitive at the last bit). Caller must hold s.mu.
+// therefore order-sensitive at the last bit). The returned slice is scratch
+// backed, valid until the next call. Caller must hold s.mu.
 func (s *Server) demandsOn(link int) []float64 {
-	_, demands := s.flowsOn(link)
-	return demands
-}
-
-// flowsOn returns the ids and demands of flows on a link in matching
-// order, sorted by id for determinism. Caller must hold s.mu.
-func (s *Server) flowsOn(link int) ([]FlowID, []float64) {
-	set := s.linkFlows[link]
-	if len(set) == 0 {
-		return nil, nil
+	d := s.demandScratch[:0]
+	for _, f := range s.linkFlows[link] {
+		d = append(d, f.bw)
 	}
-	ids := make([]FlowID, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	demands := make([]float64, len(ids))
-	for i, id := range ids {
-		demands[i] = s.flows[id].bw
-	}
-	return ids, demands
+	s.demandScratch = d
+	return d
 }
 
 // commit registers the winning candidate as a live flow and applies SETBW
@@ -338,25 +403,24 @@ func (s *Server) flowsOn(link int) ([]FlowID, []float64) {
 func (s *Server) commit(c candidate, bits float64) Assignment {
 	s.nextID++
 	id := s.nextID
+	links := make([]int, len(c.path))
+	for i, l := range c.path {
+		links[i] = int(l)
+	}
 	f := &flowState{
 		id:        id,
-		links:     c.links,
+		links:     links,
 		totalBits: bits,
 		remaining: bits,
 		lastPoll:  s.now(),
 	}
 	s.flows[id] = f
-	for _, l := range c.links {
-		set := s.linkFlows[l]
-		if set == nil {
-			set = make(map[FlowID]struct{})
-			s.linkFlows[l] = set
-		}
-		set[id] = struct{}{}
+	for _, l := range links {
+		s.linkFlows[l] = insertFlow(s.linkFlows[l], f)
 	}
 	s.setBW(f, c.bw)
-	for fid, nbw := range c.newShares {
-		s.setBW(s.flows[fid], nbw)
+	for i, cf := range c.changed.flows {
+		s.setBW(cf, c.changed.shares[i])
 	}
 	return Assignment{FlowID: id, Replica: c.replica, Path: c.path, Bits: bits, EstimatedBw: c.bw}
 }
@@ -398,9 +462,14 @@ func (s *Server) selectMulti(req Request, best candidate) []Assignment {
 	b2 := second.bw
 	combined := b1p + b2
 	if combined <= b1+bwEps {
-		// Roll back everything the tentative pair touched.
+		// Roll back everything the tentative pair touched. The model is
+		// back to its pre-selection state, so re-evaluating the winning
+		// path reproduces the original candidate exactly (best.changed
+		// itself may have been recycled while scoring the second
+		// subflow).
 		s.restore(snap)
-		a1 = s.commit(best, req.Bits)
+		c := s.evalPath(best.replica, best.path, req.Bits)
+		a1 = s.commit(c, req.Bits)
 		return []Assignment{a1}
 	}
 
@@ -423,31 +492,44 @@ func (s *Server) resize(id FlowID, bits float64) {
 	s.setBW(f, f.bw)
 }
 
-// snapshot captures the full flow model for rollback. Caller must hold s.mu.
-func (s *Server) snapshot() map[FlowID]flowState {
-	snap := make(map[FlowID]flowState, len(s.flows))
+// modelSnapshot captures the full flow model for rollback, including the
+// id counter: without it a rejected multi-replica probe would burn flow
+// ids, making the accepted flow's id depend on rolled-back work.
+type modelSnapshot struct {
+	nextID FlowID
+	flows  map[FlowID]flowState
+}
+
+// snapshot captures the flow model for rollback. Caller must hold s.mu.
+func (s *Server) snapshot() modelSnapshot {
+	snap := modelSnapshot{
+		nextID: s.nextID,
+		flows:  make(map[FlowID]flowState, len(s.flows)),
+	}
 	for id, f := range s.flows {
-		snap[id] = *f
+		snap.flows[id] = *f
 	}
 	return snap
 }
 
 // restore rolls the flow model back to a snapshot, dropping flows created
-// after it was taken. Caller must hold s.mu.
-func (s *Server) restore(snap map[FlowID]flowState) {
+// after it was taken (and their per-link index entries). Caller must hold
+// s.mu.
+func (s *Server) restore(snap modelSnapshot) {
 	for id, f := range s.flows {
-		if _, ok := snap[id]; !ok {
+		if _, ok := snap.flows[id]; !ok {
 			for _, l := range f.links {
-				delete(s.linkFlows[l], id)
+				s.linkFlows[l] = removeFlow(s.linkFlows[l], id)
 			}
 			delete(s.flows, id)
 		}
 	}
-	for id, saved := range snap {
+	for id, saved := range snap.flows {
 		f := s.flows[id]
 		state := saved
 		*f = state
 	}
+	s.nextID = snap.nextID
 }
 
 // EstimateIngressShare estimates the max-min bandwidth share a new flow
@@ -461,7 +543,7 @@ func (s *Server) EstimateIngressShare(host topology.NodeID) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	down := int(s.topo.DownlinkOf(host))
-	share := maxmin.ShareOnLink(s.capacity[down], s.demandsOn(down))
+	share := s.mm.ShareOnLink(s.capacity[down], s.demandsOn(down))
 
 	edge := s.topo.EdgeOf(host)
 	best := -1.0
@@ -470,7 +552,7 @@ func (s *Server) EstimateIngressShare(host topology.NodeID) float64 {
 		if !ok {
 			continue
 		}
-		if v := maxmin.ShareOnLink(s.capacity[id], s.demandsOn(int(id))); v > best {
+		if v := s.mm.ShareOnLink(s.capacity[id], s.demandsOn(int(id))); v > best {
 			best = v
 		}
 	}
@@ -507,7 +589,7 @@ func (s *Server) FlowFinished(id FlowID) {
 		return
 	}
 	for _, l := range f.links {
-		delete(s.linkFlows[l], id)
+		s.linkFlows[l] = removeFlow(s.linkFlows[l], id)
 	}
 	delete(s.flows, id)
 }
@@ -535,21 +617,26 @@ func (s *Server) UpdateFlowStats(now float64, stats []FlowStat) {
 		if !ok {
 			continue
 		}
+		// A duplicate, reordered or regressed sample (the chaos
+		// flowserver-stall proxy can replay polls out of order) carries
+		// no new information; applying it would roll the flow's
+		// remaining size and counter backward. Drop it before touching
+		// any state.
+		dt := now - f.lastPoll
+		if dt <= 0 || st.TransferredBits < f.transferred {
+			continue
+		}
 		f.remaining = f.totalBits - st.TransferredBits
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
-		dt := now - f.lastPoll
-		if dt <= 0 {
-			continue
-		}
 		measured := (st.TransferredBits - f.transferred) / dt
 		f.transferred = st.TransferredBits
 		f.lastPoll = now
-		if measured < 0 {
-			continue
-		}
-		if s.opts.DisableFreeze || !f.frozen || now > f.freezeUntil {
+		// Pseudocode 2 freezes the estimate until the flow's expected
+		// completion, so a poll landing exactly at the horizon already
+		// sees it expired.
+		if s.opts.DisableFreeze || !f.frozen || now >= f.freezeUntil {
 			f.bw = measured
 			f.frozen = false
 		}

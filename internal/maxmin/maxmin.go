@@ -13,6 +13,11 @@
 //     currently-measured bandwidth share as their demand; the new flow has
 //     infinite demand; capacity is divided equally up to each flow's demand.
 //
+// Callers on a hot path should use an Alloc, which keeps every scratch
+// buffer across calls; the package-level functions allocate fresh slices
+// each call but compute bit-identical results (both run the same filling
+// loop).
+//
 // All rates and capacities are in bits per second (any consistent unit
 // works); Inf is a valid demand meaning "unbounded".
 package maxmin
@@ -45,14 +50,27 @@ func Allocate(capacity []float64, flows []Flow) []float64 {
 	if len(flows) == 0 {
 		return rates
 	}
-
 	remaining := make([]float64, len(capacity))
-	copy(remaining, capacity)
-
 	active := make([]bool, len(flows))
-	nActive := 0
 	activeOnLink := make([]int, len(capacity))
+	allocate(capacity, flows, rates, remaining, active, activeOnLink)
+	return rates
+}
+
+// allocate is the shared progressive-filling body. All buffers must be
+// sized exactly (rates/active to len(flows), remaining/activeOnLink to
+// len(capacity)); their prior contents are ignored.
+func allocate(capacity []float64, flows []Flow, rates, remaining []float64, active []bool, activeOnLink []int) {
+	for i := range rates {
+		rates[i] = 0
+	}
+	copy(remaining, capacity)
+	for l := range activeOnLink {
+		activeOnLink[l] = 0
+	}
+	nActive := 0
 	for i, f := range flows {
+		active[i] = false
 		if f.Demand <= 0 {
 			continue
 		}
@@ -143,7 +161,6 @@ func Allocate(capacity []float64, flows []Flow) []float64 {
 			}
 		}
 	}
-	return rates
 }
 
 // ShareOnLink returns the max-min fair share a new flow with unbounded
@@ -166,11 +183,66 @@ func ShareOnLink(capacity float64, existing []float64) float64 {
 // link, and with newDemand = b_j (the path bottleneck share) it yields the
 // updated shares of the existing flows.
 func SharesWithNewFlow(capacity float64, existing []float64, newDemand float64) (newShares []float64, newFlowShare float64) {
-	flows := make([]Flow, 0, len(existing)+1)
-	for _, d := range existing {
-		flows = append(flows, Flow{Links: []int{0}, Demand: d})
+	var a Alloc
+	return a.SharesWithNewFlow(capacity, existing, newDemand)
+}
+
+// singleLink is the shared link set of every flow in the single-link
+// estimators. Allocate only reads Flow.Links, so aliasing is safe.
+var singleLink = []int{0}
+
+// Alloc runs the same allocations as the package-level functions but keeps
+// every scratch buffer between calls, so steady-state calls are
+// allocation-free. The zero value is ready to use. Not safe for concurrent
+// use; returned slices are scratch backed and valid until the next call.
+type Alloc struct {
+	flows        []Flow
+	rates        []float64
+	remaining    []float64
+	active       []bool
+	activeOnLink []int
+	cap1         [1]float64
+}
+
+// Allocate is the scratch-reusing equivalent of the package-level Allocate.
+// The returned slice is owned by the Alloc and overwritten by the next call.
+func (a *Alloc) Allocate(capacity []float64, flows []Flow) []float64 {
+	a.rates = sized(a.rates, len(flows))
+	if len(flows) == 0 {
+		return a.rates
 	}
-	flows = append(flows, Flow{Links: []int{0}, Demand: newDemand})
-	rates := Allocate([]float64{capacity}, flows)
+	a.remaining = sized(a.remaining, len(capacity))
+	a.active = sized(a.active, len(flows))
+	a.activeOnLink = sized(a.activeOnLink, len(capacity))
+	allocate(capacity, flows, a.rates, a.remaining, a.active, a.activeOnLink)
+	return a.rates
+}
+
+// SharesWithNewFlow is the scratch-reusing equivalent of the package-level
+// SharesWithNewFlow. The newShares slice is owned by the Alloc and
+// overwritten by the next call.
+func (a *Alloc) SharesWithNewFlow(capacity float64, existing []float64, newDemand float64) (newShares []float64, newFlowShare float64) {
+	a.flows = a.flows[:0]
+	for _, d := range existing {
+		a.flows = append(a.flows, Flow{Links: singleLink, Demand: d})
+	}
+	a.flows = append(a.flows, Flow{Links: singleLink, Demand: newDemand})
+	a.cap1[0] = capacity
+	rates := a.Allocate(a.cap1[:], a.flows)
 	return rates[:len(existing)], rates[len(existing)]
+}
+
+// ShareOnLink is the scratch-reusing equivalent of the package-level
+// ShareOnLink.
+func (a *Alloc) ShareOnLink(capacity float64, existing []float64) float64 {
+	_, share := a.SharesWithNewFlow(capacity, existing, math.Inf(1))
+	return share
+}
+
+// sized returns s resized to n, reusing its backing array when possible.
+func sized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

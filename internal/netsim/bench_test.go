@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// churnTopo is a 512-host fabric (8 pods x 8 racks x 8 hosts) large enough
+// to hold tens of thousands of concurrent flows, with the paper testbed's
+// 2:1 edge tier and an 8:1 core tier.
+func churnTopo(b *testing.B) *topology.Topology {
+	b.Helper()
+	topo, err := topology.New(topology.Config{
+		Pods: 8, RacksPerPod: 8, HostsPerRack: 8, AggsPerPod: 2, Cores: 4,
+		EdgeLinkBps:    topology.Gbps(1),
+		EdgeAggLinkBps: topology.Gbps(4),
+		AggCoreLinkBps: topology.Gbps(4),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// localityPath draws a random shortest path with the paper's rack-heavy
+// client locality mix (0.5 rack, 0.3 pod, 0.2 cross-pod).
+func localityPath(r *rand.Rand, topo *topology.Topology) topology.Path {
+	cfg := topo.Config()
+	for {
+		src := topo.Hosts()[r.Intn(topo.NumHosts())]
+		n := topo.Node(src)
+		var dst topology.NodeID
+		switch p := r.Float64(); {
+		case p < 0.5: // same rack
+			dst = topo.HostAt(n.Pod, n.Rack, r.Intn(cfg.HostsPerRack))
+		case p < 0.8: // same pod
+			dst = topo.HostAt(n.Pod, r.Intn(cfg.RacksPerPod), r.Intn(cfg.HostsPerRack))
+		default: // cross pod
+			dst = topo.HostAt(r.Intn(cfg.Pods), r.Intn(cfg.RacksPerPod), r.Intn(cfg.HostsPerRack))
+		}
+		if dst == src {
+			continue
+		}
+		paths := topo.ShortestPaths(src, dst)
+		return paths[r.Intn(len(paths))]
+	}
+}
+
+// BenchmarkNetsimChurn measures the per-event cost of the rate allocator
+// under steady churn: n flows stay active while each iteration retires one
+// flow and admits another, forcing two reallocations. This is the netsim
+// hot path the experiment harness exercises thousands of times per run.
+func BenchmarkNetsimChurn(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"1k", 1000}, {"10k", 10000}} {
+		b.Run(bc.name, func(b *testing.B) {
+			topo := churnTopo(b)
+			r := testutil.Rand(b, 42)
+			// Path pool, reused round-robin for admissions.
+			pool := make([]topology.Path, bc.n+4096)
+			for i := range pool {
+				pool[i] = localityPath(r, topo)
+			}
+			s := New(topo)
+			ids := make([]FlowID, bc.n)
+			for i := 0; i < bc.n; i++ {
+				// Large enough that no flow completes during the benchmark.
+				ids[i] = s.StartFlow(FlowConfig{Links: pool[i], Bits: 1e15})
+			}
+			next := bc.n
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				slot := i % bc.n
+				s.CancelFlow(ids[slot])
+				ids[slot] = s.StartFlow(FlowConfig{Links: pool[next%len(pool)], Bits: 1e15})
+				next++
+			}
+		})
+	}
+}

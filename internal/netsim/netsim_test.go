@@ -411,3 +411,54 @@ func TestLinkRateSums(t *testing.T) {
 		t.Fatalf("shared downlink rate = %g, want saturated", s.LinkRate(down))
 	}
 }
+
+// TestRunReportsStalledFlows checks that Run does not return silently when
+// the event queue drains with zero-rate flows still active (a flow starved
+// by a dead link would otherwise hang the experiment invisibly).
+func TestRunReportsStalledFlows(t *testing.T) {
+	s := newSim(t)
+	topo := s.Topology()
+	src, dst := topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1)
+	path := pathBetween(t, s, src, dst)
+
+	// Kill the destination downlink: the flow is admitted but allocated
+	// zero bandwidth and can never complete.
+	s.SetLinkCapacity(topo.DownlinkOf(dst), 0)
+	completed := false
+	id := s.StartFlow(FlowConfig{Links: path, Bits: 1e9, OnComplete: func(float64) { completed = true }})
+	if r := s.FlowRate(id); r != 0 {
+		t.Fatalf("starved flow rate = %g, want 0", r)
+	}
+
+	err := s.Run()
+	if err == nil {
+		t.Fatal("Run returned nil with a stalled flow active")
+	}
+	if completed {
+		t.Error("starved flow reported completion")
+	}
+	if got := s.Stalled(); len(got) != 1 || got[0] != id {
+		t.Errorf("Stalled() = %v, want [%d]", got, id)
+	}
+
+	// Reviving the link lets the flow finish and clears the stall.
+	s.SetLinkCapacity(topo.DownlinkOf(dst), 1e9)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run after reviving link: %v", err)
+	}
+	if !completed || len(s.Stalled()) != 0 {
+		t.Errorf("completed=%v stalled=%v after revival", completed, s.Stalled())
+	}
+}
+
+// TestSetLinkCapacityNegativePanics pins the contract that capacities are
+// non-negative.
+func TestSetLinkCapacityNegativePanics(t *testing.T) {
+	s := newSim(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity did not panic")
+		}
+	}()
+	s.SetLinkCapacity(0, -1)
+}

@@ -39,10 +39,30 @@ func (t *Topology) ValidPath(p Path, src, dst NodeID) bool {
 // (§4.2): paths have 2 links within a rack, 4 links within a pod (one per
 // aggregation switch), and 6 links across pods (one per aggregation switch
 // pair and core switch combination). It returns nil when src == dst.
+//
+// Results are memoized per (src, dst): the topology is immutable, so the
+// Flowserver's per-request path enumeration amortizes to a map lookup. The
+// returned paths are shared across callers and must not be modified.
 func (t *Topology) ShortestPaths(src, dst NodeID) []Path {
 	if src == dst {
 		return nil
 	}
+	key := hostPair{src, dst}
+	t.pathMu.RLock()
+	ps, ok := t.pathCache[key]
+	t.pathMu.RUnlock()
+	if ok {
+		return ps
+	}
+	ps = t.buildShortestPaths(src, dst)
+	t.pathMu.Lock()
+	t.pathCache[key] = ps
+	t.pathMu.Unlock()
+	return ps
+}
+
+// buildShortestPaths constructs the path set for one host pair.
+func (t *Topology) buildShortestPaths(src, dst NodeID) []Path {
 	ns, nd := t.nodes[src], t.nodes[dst]
 	if ns.Kind != KindHost || nd.Kind != KindHost {
 		panic("topology: ShortestPaths requires host endpoints")

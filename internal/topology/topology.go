@@ -16,6 +16,7 @@ package topology
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // NodeKind identifies the tier a node belongs to.
@@ -182,14 +183,23 @@ type Topology struct {
 
 	// linkBetween[from] maps destination node to the directed link id.
 	linkBetween []map[NodeID]LinkID
+
+	// pathCache memoizes ShortestPaths results per host pair. The graph is
+	// immutable, so entries never invalidate; the lock only guards the map
+	// itself (cached paths are shared and must be treated as read-only).
+	pathMu    sync.RWMutex
+	pathCache map[hostPair][]Path
 }
+
+// hostPair keys the shortest-path cache.
+type hostPair struct{ src, dst NodeID }
 
 // New builds the topology described by cfg.
 func New(cfg Config) (*Topology, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Topology{cfg: cfg}
+	t := &Topology{cfg: cfg, pathCache: make(map[hostPair][]Path)}
 
 	addNode := func(kind NodeKind, name string, pod, rack, index int) NodeID {
 		id := NodeID(len(t.nodes))
