@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz bench check clean
+.PHONY: all build vet fmt-check test race fuzz bench cover check clean
 
 all: build
 
@@ -17,10 +17,20 @@ fmt-check:
 test:
 	$(GO) test ./...
 
-# race runs the whole suite under the race detector, chaos scenarios
-# included. This is the bar CI holds every change to.
+# race runs the whole suite under the race detector — chaos scenarios and
+# the sim-vs-emu cross-validation included. This is the bar CI holds every
+# change to.
 race:
 	$(GO) test -race ./...
+
+# cover runs the suite with coverage (-short: the timing-sensitive paced
+# emulation tests distort under instrumentation and are covered by the race
+# job), writes the profile to cover.out and the per-package summary plus
+# total to cover.txt. CI uploads both as a workflow artifact.
+cover:
+	$(GO) test -short -coverprofile=cover.out -covermode=atomic ./... > cover.txt
+	@cat cover.txt
+	$(GO) tool cover -func=cover.out | tail -1 | tee -a cover.txt
 
 # fuzz gives each fuzz target a short budget beyond its seed corpus.
 fuzz:

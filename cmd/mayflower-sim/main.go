@@ -16,6 +16,9 @@
 //	mayflower-sim -fig all          # everything above
 //
 // Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi.
+// Backend: -backend netsim (default, virtual time) or -backend emunet
+// (real paced bytes in wall time; shrink -jobs and raise -emu-speedup,
+// or a run takes as long as the workload it emulates).
 // Profiling: -cpuprofile and -memprofile write pprof profiles for the run.
 package main
 
@@ -48,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "workload seed")
 		oversub = fs.Float64("oversub", 8, "core-to-rack oversubscription ratio")
 		multi   = fs.Bool("multi", false, "enable §4.3 multi-replica reads for the Mayflower scheme")
+		backend = fs.String("backend", "netsim", "network backend: netsim (virtual time) or emunet (emulated bytes, wall time)")
+		speedup = fs.Float64("emu-speedup", 1, "emunet only: compress the emulation clock by this factor")
 		asCSV   = fs.Bool("csv", false, "emit figures 4/5/6a/6b/7 as CSV instead of tables")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -82,6 +87,15 @@ func run(args []string, out io.Writer) error {
 	}
 
 	base := experiment.Defaults(experiment.SchemeMayflower)
+	switch *backend {
+	case "netsim":
+		base.Backend = experiment.BackendNetsim
+	case "emunet":
+		base.Backend = experiment.BackendEmunet
+		base.EmuSpeedup = *speedup
+	default:
+		return fmt.Errorf("unknown backend %q (want netsim or emunet)", *backend)
+	}
 	base.NumJobs = *jobs
 	base.WarmupJobs = *warmup
 	base.NumFiles = *files

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// CapacityFabric is the slice of the network-fabric contract link faults
+// need: both fabric backends (netsim.Sim, emunet.Network and its driver
+// Fabric) satisfy it, so one injector cuts links under a virtual-time
+// simulation and under a live emulated deployment alike.
+type CapacityFabric interface {
+	Topology() *topology.Topology
+	SetLinkCapacity(id topology.LinkID, bps float64)
+}
+
+// LinkFaults injects link and node faults into a network fabric by
+// driving link capacities to zero — the fabric-level truth of a pulled
+// cable or a dead switch: flows crossing the link starve (making no
+// progress, not erroring) until the fault heals and capacity returns.
+// Restore capacities come from the topology's nominal link capacities.
+// All methods are idempotent and safe for concurrent use.
+type LinkFaults struct {
+	fab CapacityFabric
+
+	mu  sync.Mutex
+	cut map[topology.LinkID]bool
+}
+
+// NewLinkFaults creates an injector over a fabric.
+func NewLinkFaults(fab CapacityFabric) *LinkFaults {
+	return &LinkFaults{fab: fab, cut: make(map[topology.LinkID]bool)}
+}
+
+// CutLink kills one directed link.
+func (lf *LinkFaults) CutLink(id topology.LinkID) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	lf.cutLocked(id)
+}
+
+func (lf *LinkFaults) cutLocked(id topology.LinkID) {
+	if lf.cut[id] {
+		return
+	}
+	lf.cut[id] = true
+	lf.fab.SetLinkCapacity(id, 0)
+}
+
+// RestoreLink brings one directed link back at its nominal capacity.
+func (lf *LinkFaults) RestoreLink(id topology.LinkID) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	lf.restoreLocked(id)
+}
+
+func (lf *LinkFaults) restoreLocked(id topology.LinkID) {
+	if !lf.cut[id] {
+		return
+	}
+	delete(lf.cut, id)
+	lf.fab.SetLinkCapacity(id, lf.fab.Topology().Link(id).Capacity)
+}
+
+// CutNode kills every link touching a node, isolating it — a switch
+// losing power, or a host's NIC going dark.
+func (lf *LinkFaults) CutNode(n topology.NodeID) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	for _, l := range lf.fab.Topology().Links() {
+		if l.From == n || l.To == n {
+			lf.cutLocked(l.ID)
+		}
+	}
+}
+
+// RestoreNode brings every link touching a node back.
+func (lf *LinkFaults) RestoreNode(n topology.NodeID) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	for _, l := range lf.fab.Topology().Links() {
+		if l.From == n || l.To == n {
+			lf.restoreLocked(l.ID)
+		}
+	}
+}
+
+// RestoreAll heals every outstanding fault.
+func (lf *LinkFaults) RestoreAll() {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	for id := range lf.cut {
+		lf.restoreLocked(id)
+	}
+}
+
+// NumCut returns the number of currently dead links.
+func (lf *LinkFaults) NumCut() int {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	return len(lf.cut)
+}
+
+// String summarizes the injector state for scenario traces.
+func (lf *LinkFaults) String() string {
+	return fmt.Sprintf("linkfaults(%d cut)", lf.NumCut())
+}

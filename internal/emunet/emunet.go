@@ -6,30 +6,43 @@
 // fabric of drop-tail switches and long TCP flows converges to, and the
 // property Mininet's link shaping provides the paper.
 //
+// The package is the wall-clock implementation of the shared network
+// fabric contract (package fabric): Network is the fabric.Admitter the
+// testbed's Flowserver hooks speak, and Fabric (see fabric.go) adapts it
+// to the full fabric.Backend driver contract so simulation experiments
+// run unchanged on emulated bytes. The arbiter bookkeeping is the shared
+// fabric.Table; all pacer timing goes through a fabric.Clock, so tests
+// can compress wall time deterministically with fabric.NewScaledClock.
+//
 // The package implements dataserver.Pacer: a dataserver constructed with
 // an emunet pacer streams each read through a token pacer whose rate is
-// recomputed whenever flows enter or leave the network. Optionally, SDN
-// switch agents (package sdn) can be attached to topology switch nodes;
-// the pacer then credits their per-flow and per-port byte counters as
-// traffic passes, which is what the Flowserver's stats polling observes.
+// recomputed whenever flows enter or leave the network. Optionally, a
+// fabric.CounterSink (e.g. sdn.CounterBridge wiring SDN switch agents to
+// topology switch nodes) can be attached; the pacer then credits
+// per-flow and per-port byte counters as traffic passes, which is what
+// the Flowserver's stats polling observes.
 package emunet
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
-	"sync"
-	"time"
 
-	"github.com/mayflower-dfs/mayflower/internal/maxmin"
-	"github.com/mayflower-dfs/mayflower/internal/sdn"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
 // chunkBytes is the pacing quantum: small enough that rate changes take
 // effect quickly, large enough to keep syscall overhead negligible.
 const chunkBytes = 16 << 10
+
+// starvedPollSeconds is how often (in fabric time) a fully starved flow
+// rechecks its rate. A flow is starved when the arbiter allocates it
+// zero bandwidth — every link on its path dead — so it must make no
+// progress at all, yet resume promptly when a fault heals.
+const starvedPollSeconds = 2e-3
 
 // ErrUnknownFlow is returned when pacing an unregistered flow.
 var ErrUnknownFlow = errors.New("emunet: unknown flow")
@@ -40,9 +53,16 @@ type emuFlow struct {
 
 	mu   sync.Mutex
 	rate float64 // bits per second
-	// nextFree is the virtual time before which the flow's pacer must
-	// not send more bytes.
-	nextFree time.Time
+	// released is set when the flow is unregistered; a pacer starved on
+	// a dead link checks it so it can unblock instead of waiting for a
+	// reallocation that will never include the flow again.
+	released bool
+	// nextFree is the fabric time (seconds) before which the flow's
+	// pacer must not send more bytes.
+	nextFree float64
+	// transferredBits counts bits delivered through the pacer: the
+	// per-flow byte counter an edge switch would export.
+	transferredBits float64
 }
 
 func (f *emuFlow) currentRate() float64 {
@@ -51,44 +71,64 @@ func (f *emuFlow) currentRate() float64 {
 	return f.rate
 }
 
-// Network is the emulated fabric.
+// Network is the emulated fabric. It implements fabric.Admitter.
 type Network struct {
-	topo *topology.Topology
+	topo  *topology.Topology
+	clock fabric.Clock
 
-	mu       sync.Mutex
-	flows    map[uint64]*emuFlow
-	switches map[topology.NodeID]*sdn.Switch
-	capacity []float64
+	mu         sync.Mutex
+	flows      map[uint64]*emuFlow
+	table      *fabric.Table
+	linkBits   []float64 // cumulative bits forwarded per directed link
+	sink       fabric.CounterSink
+	rateNotify func()
 }
 
-// New creates an emulated network over the topology.
+var _ fabric.Admitter = (*Network)(nil)
+
+// New creates an emulated network over the topology, on the wall clock.
 func New(topo *topology.Topology) *Network {
+	return NewWithClock(topo, fabric.NewWallClock())
+}
+
+// NewWithClock creates an emulated network whose pacers and observers
+// run on the given fabric clock. Pass fabric.NewScaledClock to compress
+// an emulation's wall time without changing any fabric-time behaviour.
+func NewWithClock(topo *topology.Topology, clock fabric.Clock) *Network {
 	capacity := make([]float64, topo.NumLinks())
 	for _, l := range topo.Links() {
 		capacity[l.ID] = l.Capacity
 	}
 	return &Network{
 		topo:     topo,
+		clock:    clock,
 		flows:    make(map[uint64]*emuFlow),
-		switches: make(map[topology.NodeID]*sdn.Switch),
-		capacity: capacity,
+		table:    fabric.NewTable(capacity),
+		linkBits: make([]float64, topo.NumLinks()),
 	}
 }
 
 // Topology returns the emulated topology.
 func (n *Network) Topology() *topology.Topology { return n.topo }
 
-// AttachSwitch wires an SDN switch agent to a topology switch node so the
-// node's forwarding credits the agent's byte counters.
-func (n *Network) AttachSwitch(node topology.NodeID, sw *sdn.Switch) error {
-	kind := n.topo.Node(node).Kind
-	if kind == topology.KindHost {
-		return fmt.Errorf("emunet: node %d is a host, not a switch", node)
-	}
+// Clock returns the fabric clock the network runs on.
+func (n *Network) Clock() fabric.Clock { return n.clock }
+
+// SetCounterSink installs the sink that receives byte credits as traffic
+// crosses links (nil uninstalls). The sink is invoked with the network's
+// lock held and must not call back into the network.
+func (n *Network) SetCounterSink(s fabric.CounterSink) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.switches[node] = sw
-	return nil
+	n.sink = s
+}
+
+// SetRateNotify installs fn to run after every fair-share reallocation
+// (admission, removal, capacity change). nil uninstalls.
+func (n *Network) SetRateNotify(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rateNotify = fn
 }
 
 // RegisterFlow admits a flow on a path and recomputes every flow's fair
@@ -99,20 +139,24 @@ func (n *Network) RegisterFlow(id uint64, path topology.Path) error {
 	}
 	links := make([]int, len(path))
 	for i, l := range path {
-		if int(l) < 0 || int(l) >= len(n.capacity) {
+		if !n.table.ValidLink(int(l)) {
 			return fmt.Errorf("emunet: invalid link %d", l)
 		}
 		links[i] = int(l)
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	f := n.flows[id]
 	if f == nil {
 		f = &emuFlow{id: id}
 		n.flows[id] = f
 	}
 	f.links = links
-	n.reallocateLocked()
+	n.table.Set(id, links)
+	notify := n.reallocateLocked()
+	n.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 	return nil
 }
 
@@ -120,12 +164,37 @@ func (n *Network) RegisterFlow(id uint64, path topology.Path) error {
 // Unknown ids are a no-op.
 func (n *Network) UnregisterFlow(id uint64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.flows[id]; !ok {
+	f, ok := n.flows[id]
+	if !ok {
+		n.mu.Unlock()
 		return
 	}
 	delete(n.flows, id)
-	n.reallocateLocked()
+	n.table.Remove(id)
+	f.mu.Lock()
+	f.released = true
+	f.mu.Unlock()
+	notify := n.reallocateLocked()
+	n.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// SetLinkCapacity changes the capacity of one directed link (bps >= 0;
+// zero models a dead link, starving every flow crossing it). Every fair
+// rate is recomputed immediately.
+func (n *Network) SetLinkCapacity(id topology.LinkID, bps float64) {
+	if bps < 0 {
+		panic(fmt.Sprintf("emunet: negative capacity %g for link %d", bps, id))
+	}
+	n.mu.Lock()
+	n.table.SetCapacity(int(id), bps)
+	notify := n.reallocateLocked()
+	n.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 // NumFlows returns the number of registered flows.
@@ -138,36 +207,57 @@ func (n *Network) NumFlows() int {
 // FlowRate returns a flow's current fair rate in bits per second.
 func (n *Network) FlowRate(id uint64) (float64, bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	f, ok := n.flows[id]
+	n.mu.Unlock()
 	if !ok {
 		return 0, false
 	}
 	return f.currentRate(), true
 }
 
-// reallocateLocked recomputes max-min fair rates. Caller must hold n.mu.
-func (n *Network) reallocateLocked() {
-	ids := make([]uint64, 0, len(n.flows))
-	flows := make([]maxmin.Flow, 0, len(n.flows))
-	for id, f := range n.flows {
-		ids = append(ids, id)
-		flows = append(flows, maxmin.Flow{Links: f.links, Demand: math.Inf(1)})
+// FlowTransferred returns the cumulative bits delivered for a registered
+// flow so far, or 0 for unknown flows (counters for finished flows are
+// gone, as when a switch evicts a flow-table entry).
+func (n *Network) FlowTransferred(id uint64) float64 {
+	n.mu.Lock()
+	f, ok := n.flows[id]
+	n.mu.Unlock()
+	if !ok {
+		return 0
 	}
-	rates := maxmin.Allocate(n.capacity, flows)
-	for i, id := range ids {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transferredBits
+}
+
+// LinkTransferred returns the cumulative bits forwarded over a directed
+// link: the port byte counter of the switch driving that link.
+func (n *Network) LinkTransferred(id topology.LinkID) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.linkBits[id]
+}
+
+// reallocateLocked recomputes max-min fair rates through the shared
+// fabric table. Caller must hold n.mu; the returned notifier (nil if
+// none installed) must be invoked after releasing it.
+func (n *Network) reallocateLocked() func() {
+	n.table.Reallocate()
+	n.table.Each(func(id uint64, rate float64) {
 		f := n.flows[id]
 		f.mu.Lock()
-		f.rate = rates[i]
+		f.rate = rate
 		f.mu.Unlock()
-	}
+	})
+	return n.rateNotify
 }
 
 // Writer implements dataserver.Pacer: writes to the returned writer are
-// paced at the flow's fair share and credited to the switch counters
-// along its path. Writes for unregistered flows (including id 0) pass
-// through unpaced and uncounted — such traffic is invisible to the
-// control plane, like any flow an operator forgot to schedule.
+// paced at the flow's fair share and credited to the fabric's byte
+// counters (and any attached CounterSink) along its path. Writes for
+// unregistered flows (including id 0) pass through unpaced and
+// uncounted — such traffic is invisible to the control plane, like any
+// flow an operator forgot to schedule.
 func (n *Network) Writer(flowID uint64, w io.Writer) io.Writer {
 	n.mu.Lock()
 	f := n.flows[flowID]
@@ -197,13 +287,11 @@ func (p *pacedWriter) Write(b []byte) (int, error) {
 		if nn > chunkBytes {
 			nn = chunkBytes
 		}
-		if err := p.pace(float64(nn * 8)); err != nil {
-			return written, err
-		}
+		p.pace(float64(nn * 8))
 		m, err := p.w.Write(b[written : written+nn])
 		written += m
 		if m > 0 {
-			p.credit(uint64(m))
+			p.credit(m)
 		}
 		if err != nil {
 			return written, err
@@ -212,39 +300,52 @@ func (p *pacedWriter) Write(b []byte) (int, error) {
 	return written, nil
 }
 
-// pace blocks until the flow may send another bits-sized quantum.
-func (p *pacedWriter) pace(bits float64) error {
+// pace blocks until the flow may send another bits-sized quantum. A flow
+// whose rate is zero (dead link) makes no progress until a reallocation
+// grants it bandwidth again.
+func (p *pacedWriter) pace(bits float64) {
 	f := p.flow
-	f.mu.Lock()
-	rate := f.rate
-	if rate <= 0 {
-		// A flow can be momentarily starved during reallocation races;
-		// treat a tiny floor as the minimum rate rather than dividing by
-		// zero.
-		rate = 1
+	clock := p.net.clock
+	for {
+		f.mu.Lock()
+		rate := f.rate
+		if rate > 0 {
+			now := clock.Now()
+			if f.nextFree < now {
+				f.nextFree = now
+			}
+			start := f.nextFree
+			f.nextFree = start + bits/rate
+			f.mu.Unlock()
+			if d := start - clock.Now(); d > 0 {
+				clock.Sleep(d)
+			}
+			return
+		}
+		released := f.released
+		f.mu.Unlock()
+		if released {
+			return // unregistered while starved; let the writer drain
+		}
+		clock.Sleep(starvedPollSeconds)
 	}
-	now := time.Now()
-	if f.nextFree.Before(now) {
-		f.nextFree = now
-	}
-	start := f.nextFree
-	f.nextFree = start.Add(time.Duration(bits / rate * float64(time.Second)))
-	f.mu.Unlock()
-
-	if d := time.Until(start); d > 0 {
-		time.Sleep(d)
-	}
-	return nil
 }
 
-// credit adds transmitted bytes to the SDN switch counters along the path.
-func (p *pacedWriter) credit(bytes uint64) {
+// credit adds transmitted bytes to the flow's and path's byte counters,
+// mirroring them into the attached CounterSink (the SDN switch agents).
+func (p *pacedWriter) credit(bytes int) {
+	bits := float64(bytes) * 8
+	f := p.flow
+	f.mu.Lock()
+	f.transferredBits += bits
+	f.mu.Unlock()
+
 	p.net.mu.Lock()
 	defer p.net.mu.Unlock()
-	for _, l := range p.flow.links {
-		link := p.net.topo.Link(topology.LinkID(l))
-		if sw, ok := p.net.switches[link.From]; ok {
-			sw.AddBytes(p.flow.id, uint32(l), bytes)
+	for _, l := range f.links {
+		p.net.linkBits[l] += bits
+		if p.net.sink != nil {
+			p.net.sink.CreditBytes(f.id, topology.LinkID(l), uint64(bytes))
 		}
 	}
 }

@@ -8,11 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/sdn"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
-func testNet(t *testing.T) *Network {
+func testTopo(t *testing.T) *topology.Topology {
 	t.Helper()
 	topo, err := topology.New(topology.Config{
 		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 2,
@@ -22,7 +23,20 @@ func testNet(t *testing.T) *Network {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(topo)
+	return topo
+}
+
+func testNet(t *testing.T) *Network {
+	t.Helper()
+	return New(testTopo(t))
+}
+
+// testNetCompressed builds a network on a compressed clock: pacing tests
+// assert fabric-time bounds (via the clock) while spending 1/speedup of
+// that in wall time.
+func testNetCompressed(t *testing.T, speedup float64) *Network {
+	t.Helper()
+	return NewWithClock(testTopo(t), fabric.NewScaledClock(speedup))
 }
 
 func pathFor(t *testing.T, n *Network, a, b topology.NodeID) topology.Path {
@@ -76,28 +90,61 @@ func TestFairShareAcrossFlows(t *testing.T) {
 	n.UnregisterFlow(99) // no-op
 }
 
-func TestPacedWriterThroughput(t *testing.T) {
+func TestLinkCapacityChangeReallocates(t *testing.T) {
 	n := testNet(t)
+	topo := n.Topology()
+	path := pathFor(t, n, topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1))
+	notified := 0
+	n.SetRateNotify(func() { notified++ })
+	if err := n.RegisterFlow(1, path); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkCapacity(path[0], 2e6)
+	if r, _ := n.FlowRate(1); math.Abs(r-2e6) > 1 {
+		t.Fatalf("rate after capacity cut = %g, want 2e6", r)
+	}
+	n.SetLinkCapacity(path[0], 0)
+	if r, _ := n.FlowRate(1); r != 0 {
+		t.Fatalf("rate on dead link = %g, want 0", r)
+	}
+	n.SetLinkCapacity(path[0], 8e6)
+	if r, _ := n.FlowRate(1); math.Abs(r-8e6) > 1 {
+		t.Fatalf("rate after restore = %g, want 8e6", r)
+	}
+	if notified != 4 { // register + three capacity changes
+		t.Errorf("rate notify fired %d times, want 4", notified)
+	}
+}
+
+func TestPacedWriterThroughput(t *testing.T) {
+	// Compressed 8x: the ≈200 ms fabric-time transfer takes ≈25 ms wall.
+	n := testNetCompressed(t, 8)
 	topo := n.Topology()
 	path := pathFor(t, n, topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1))
 	if err := n.RegisterFlow(7, path); err != nil {
 		t.Fatal(err)
 	}
 
-	// 8 Mbps = 1 MB/s; transferring 200 KB should take ≈200 ms.
+	// 8 Mbps = 1 MB/s; transferring 200 KB should take ≈200 ms fabric.
 	var sink bytes.Buffer
 	w := n.Writer(7, &sink)
 	payload := make([]byte, 200<<10)
-	start := time.Now()
+	start := n.Clock().Now()
 	if _, err := w.Write(payload); err != nil {
 		t.Fatal(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := n.Clock().Now() - start
 	if sink.Len() != len(payload) {
 		t.Fatalf("wrote %d bytes", sink.Len())
 	}
-	if elapsed < 150*time.Millisecond || elapsed > 600*time.Millisecond {
-		t.Errorf("transfer took %v, want ≈200ms", elapsed)
+	if elapsed < 0.15 || elapsed > 0.6 {
+		t.Errorf("transfer took %.3fs fabric, want ≈0.2s", elapsed)
+	}
+	if bits := n.FlowTransferred(7); bits != float64(len(payload))*8 {
+		t.Errorf("FlowTransferred = %g bits, want %g", bits, float64(len(payload))*8)
+	}
+	if bits := n.LinkTransferred(path[0]); bits != float64(len(payload))*8 {
+		t.Errorf("LinkTransferred = %g bits, want %g", bits, float64(len(payload))*8)
 	}
 }
 
@@ -115,7 +162,8 @@ func TestUnregisteredFlowUnpaced(t *testing.T) {
 }
 
 func TestTwoFlowsShareLinkInTime(t *testing.T) {
-	n := testNet(t)
+	// Compressed 8x: ≈200 ms fabric each, ≈25 ms wall.
+	n := testNetCompressed(t, 8)
 	topo := n.Topology()
 	path := pathFor(t, n, topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1))
 	if err := n.RegisterFlow(1, path); err != nil {
@@ -125,32 +173,33 @@ func TestTwoFlowsShareLinkInTime(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	payload := make([]byte, 100<<10) // 100 KB each at 0.5 MB/s ≈ 200 ms
+	payload := make([]byte, 100<<10) // 100 KB each at 0.5 MB/s ≈ 200 ms fabric
 	var wg sync.WaitGroup
-	durations := make([]time.Duration, 2)
+	durations := make([]float64, 2)
 	for i, id := range []uint64{1, 2} {
 		i, id := i, id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			w := n.Writer(id, io.Discard)
-			start := time.Now()
+			start := n.Clock().Now()
 			if _, err := w.Write(payload); err != nil {
 				t.Error(err)
 			}
-			durations[i] = time.Since(start)
+			durations[i] = n.Clock().Now() - start
 		}()
 	}
 	wg.Wait()
 	for i, d := range durations {
-		if d < 140*time.Millisecond || d > 800*time.Millisecond {
-			t.Errorf("flow %d took %v, want ≈200ms (half rate)", i+1, d)
+		if d < 0.14 || d > 0.8 {
+			t.Errorf("flow %d took %.3fs fabric, want ≈0.2s (half rate)", i+1, d)
 		}
 	}
 }
 
 func TestRateAdaptsMidTransfer(t *testing.T) {
-	n := testNet(t)
+	// Compressed 4x (modest: the mid-transfer event is timing-sensitive).
+	n := testNetCompressed(t, 4)
 	topo := n.Topology()
 	path := pathFor(t, n, topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1))
 	if err := n.RegisterFlow(1, path); err != nil {
@@ -158,21 +207,49 @@ func TestRateAdaptsMidTransfer(t *testing.T) {
 	}
 
 	// Start at full rate; halfway through, a competitor arrives.
-	payload := make([]byte, 200<<10) // alone: ≈200 ms; with competitor for 2nd half: ≈300 ms
-	done := make(chan time.Duration, 1)
+	payload := make([]byte, 200<<10) // alone: ≈200 ms fabric; competitor for 2nd half: ≈300 ms
+	done := make(chan float64, 1)
 	go func() {
 		w := n.Writer(1, io.Discard)
-		start := time.Now()
+		start := n.Clock().Now()
 		_, _ = w.Write(payload)
-		done <- time.Since(start)
+		done <- n.Clock().Now() - start
 	}()
-	time.Sleep(100 * time.Millisecond)
+	n.Clock().Sleep(0.1)
 	if err := n.RegisterFlow(2, path); err != nil {
 		t.Fatal(err)
 	}
 	elapsed := <-done
-	if elapsed < 250*time.Millisecond {
-		t.Errorf("transfer took %v; competitor did not slow the flow", elapsed)
+	if elapsed < 0.25 {
+		t.Errorf("transfer took %.3fs fabric; competitor did not slow the flow", elapsed)
+	}
+}
+
+func TestStarvedFlowResumesAfterRestore(t *testing.T) {
+	n := testNetCompressed(t, 8)
+	topo := n.Topology()
+	path := pathFor(t, n, topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1))
+	if err := n.RegisterFlow(1, path); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkCapacity(path[0], 0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := n.Writer(1, io.Discard)
+		_, _ = w.Write(make([]byte, 64<<10))
+	}()
+	select {
+	case <-done:
+		t.Fatal("write completed over a dead link")
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.SetLinkCapacity(path[0], 8e6)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write did not resume after the link was restored")
 	}
 }
 
@@ -184,12 +261,14 @@ func TestSwitchCountersCredited(t *testing.T) {
 
 	edge := topo.EdgeOf(src)
 	sw := sdn.NewSwitch(uint64(edge))
-	if err := n.AttachSwitch(edge, sw); err != nil {
+	bridge := sdn.NewCounterBridge(topo)
+	if err := bridge.Attach(edge, sw); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.AttachSwitch(src, sw); err == nil {
+	if err := bridge.Attach(src, sw); err == nil {
 		t.Error("attached a switch to a host node")
 	}
+	n.SetCounterSink(bridge)
 
 	if err := n.RegisterFlow(5, path); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+	"github.com/mayflower-dfs/mayflower/internal/workload"
+)
+
+// crossTopo is the CI-sized cross-validation topology: 8 hosts in 2 pods
+// × 2 racks × 2 hosts at 16 Mbps edges, so an emulated run's transfers
+// finish in fractions of a second.
+func crossTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(topology.Config{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 2,
+		EdgeLinkBps: 16e6, EdgeAggLinkBps: 16e6, AggCoreLinkBps: 8e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// crossConfig is one scheme's cross-validation run: a short trace of
+// small reads that still overlaps flows enough to exercise fair sharing,
+// selection, and stats polling.
+func crossConfig(t *testing.T, scheme Scheme, backend BackendKind) Config {
+	cfg := Config{
+		Scheme:        scheme,
+		Lambda:        3.0, // dense enough that transfers overlap and share links
+		NumJobs:       24,
+		WarmupJobs:    4,
+		NumFiles:      12,
+		FileBits:      2e6, // 2 Mbit: 0.125 s alone at 16 Mbps
+		Replication:   3,
+		Locality:      workload.LocalityRackHeavy,
+		StatsInterval: 0.25,
+		Seed:          7,
+		Backend:       backend,
+		Topo:          crossTopo(t),
+	}
+	if backend == BackendEmunet {
+		cfg.EmuSpeedup = 4
+	}
+	return cfg
+}
+
+// TestCrossValidation runs every scheme of the paper's evaluation — the
+// five §6.2 schemes plus the two HDFS Figure-8 schemes — through the one
+// backend-parameterized driver on both substrates and asserts the mean
+// read-completion times agree.
+//
+// Tolerance: the emulator's pacer sends 16 KB chunks (128 Kbit ≈ 8 ms of
+// fabric time per chunk at 16 Mbps, the granularity at which rate changes
+// take hold) and sleeps on the OS timer through a 4x-compressed clock
+// (≈1-4 ms of fabric-time slop per sleep), and completion-callback
+// timing feeds back into selection, so per-job times genuinely diverge.
+// What must hold for the evaluation to be credible is that the schemes'
+// aggregate behaviour matches; we allow the mean 35% relative + 80 ms
+// absolute slack, far tighter than the ≥2x between-scheme separations
+// the figures report.
+func TestCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation moves real paced bytes; skipped in -short")
+	}
+	schemes := []Scheme{
+		SchemeMayflower,
+		SchemeSinbadRMayflower,
+		SchemeSinbadRECMP,
+		SchemeNearestMayflower,
+		SchemeNearestECMP,
+		SchemeHDFSECMP,
+		SchemeHDFSMayflower,
+	}
+	// Serial on purpose: parallel subtests would contend for CPU and
+	// distort the emulator's pacing.
+	for _, scheme := range schemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			simRes, err := Run(crossConfig(t, scheme, BackendNetsim))
+			if err != nil {
+				t.Fatalf("netsim run: %v", err)
+			}
+			emuRes, err := Run(crossConfig(t, scheme, BackendEmunet))
+			if err != nil {
+				t.Fatalf("emunet run: %v", err)
+			}
+			if len(simRes.CompletionTimes) != len(emuRes.CompletionTimes) {
+				t.Fatalf("job counts differ: netsim %d, emunet %d",
+					len(simRes.CompletionTimes), len(emuRes.CompletionTimes))
+			}
+			simMean := simRes.Summary.Mean
+			emuMean := emuRes.Summary.Mean
+			diff := math.Abs(simMean - emuMean)
+			tol := 0.35*simMean + 0.08
+			t.Logf("mean completion: netsim %.3fs, emunet %.3fs (diff %.3fs, tol %.3fs)",
+				simMean, emuMean, diff, tol)
+			if diff > tol {
+				t.Errorf("backends disagree: netsim mean %.3fs vs emunet mean %.3fs (tolerance %.3fs)",
+					simMean, emuMean, tol)
+			}
+		})
+	}
+}

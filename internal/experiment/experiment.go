@@ -11,6 +11,8 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/mayflower-dfs/mayflower/internal/emunet"
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/netsim"
 	"github.com/mayflower-dfs/mayflower/internal/selection"
@@ -18,6 +20,31 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/workload"
 )
+
+// BackendKind selects the network substrate an experiment runs on.
+type BackendKind int
+
+// The two fabric backends. The zero value is the simulator, so existing
+// configurations (and the figure reproductions) are unchanged.
+const (
+	// BackendNetsim runs the flow-level simulator in virtual time.
+	BackendNetsim BackendKind = iota
+	// BackendEmunet moves real paced bytes over the emulated network in
+	// wall time (optionally compressed by EmuSpeedup).
+	BackendEmunet
+)
+
+// String names the backend.
+func (b BackendKind) String() string {
+	switch b {
+	case BackendNetsim:
+		return "netsim"
+	case BackendEmunet:
+		return "emunet"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(b))
+	}
+}
 
 // Scheme is a replica-selection + path-selection combination (§6.2).
 type Scheme int
@@ -105,6 +132,19 @@ type Config struct {
 	// DisableImpactTerm / DisableFreeze are the DESIGN.md ablations.
 	DisableImpactTerm bool
 	DisableFreeze     bool
+	// Backend selects the network substrate; the zero value is the
+	// flow-level simulator. Results are deterministic only on
+	// BackendNetsim — BackendEmunet is subject to real scheduling and
+	// pacing jitter, which is what cross-validation quantifies.
+	Backend BackendKind
+	// Topo overrides the topology (nil: the paper testbed at
+	// Oversubscription). Cross-validation uses a CI-sized topology here so
+	// emulated runs finish in seconds.
+	Topo *topology.Topology
+	// EmuSpeedup compresses the emulator's wall clock (BackendEmunet
+	// only): the run's fabric timeline is unchanged but elapses
+	// EmuSpeedup times faster. <= 0 or unset means real time.
+	EmuSpeedup float64
 	// BackgroundLoad injects non-filesystem cross traffic the Flowserver
 	// cannot see or schedule: random host-to-host transfers over ECMP
 	// paths arriving at BackgroundLoad times the job rate, each moving
@@ -141,7 +181,9 @@ func (c Config) validate() error {
 	switch {
 	case c.Scheme < SchemeMayflower || c.Scheme > SchemeHDFSMayflower:
 		return fmt.Errorf("experiment: unknown scheme %d", int(c.Scheme))
-	case c.Oversubscription <= 0:
+	case c.Backend < BackendNetsim || c.Backend > BackendEmunet:
+		return fmt.Errorf("experiment: unknown backend %d", int(c.Backend))
+	case c.Topo == nil && c.Oversubscription <= 0:
 		return fmt.Errorf("experiment: oversubscription must be > 0, got %g", c.Oversubscription)
 	case c.NumJobs <= 0:
 		return fmt.Errorf("experiment: NumJobs must be > 0, got %d", c.NumJobs)
@@ -172,14 +214,19 @@ type Result struct {
 	Summary stats.Summary
 }
 
-// Run executes one simulation and returns its result.
+// Run executes one experiment — the whole trace on the configured
+// fabric backend — and returns its result.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	topo, err := topology.New(topology.PaperTestbed(cfg.Oversubscription))
-	if err != nil {
-		return nil, err
+	topo := cfg.Topo
+	if topo == nil {
+		var err error
+		topo, err = topology.New(topology.PaperTestbed(cfg.Oversubscription))
+		if err != nil {
+			return nil, err
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	cat, err := workload.NewCatalog(topo, rng, workload.CatalogConfig{
@@ -201,10 +248,18 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	var fab fabric.Backend
+	switch cfg.Backend {
+	case BackendNetsim:
+		fab = netsim.New(topo)
+	case BackendEmunet:
+		fab = emunet.NewFabric(emunet.NewWithClock(topo, fabric.NewScaledClock(cfg.EmuSpeedup)))
+	}
+
 	r := &runner{
 		cfg:  cfg,
 		topo: topo,
-		sim:  netsim.New(topo),
+		fab:  fab,
 		rng:  rng,
 		cat:  cat,
 		res:  &Result{Config: cfg},
@@ -215,7 +270,7 @@ func Run(cfg Config) (*Result, error) {
 		r.scheduleBackground(jobs[len(jobs)-1].Time)
 	}
 	r.schedulePolling()
-	if err := r.sim.Run(); err != nil {
+	if err := r.fab.Run(); err != nil {
 		return nil, err
 	}
 
@@ -226,11 +281,13 @@ func Run(cfg Config) (*Result, error) {
 	return r.res, nil
 }
 
-// runner carries the per-run state.
+// runner carries the per-run state. All of its callbacks run as fabric
+// driver callbacks, which the backend serializes, so the runner needs no
+// locking on either substrate.
 type runner struct {
 	cfg  Config
 	topo *topology.Topology
-	sim  *netsim.Sim
+	fab  fabric.Backend
 	rng  *rand.Rand
 	cat  *workload.Catalog
 	res  *Result
@@ -247,8 +304,8 @@ type runner struct {
 	lastPoll float64
 	prevBits []float64
 
-	// Mayflower flow bookkeeping: Flowserver id → simulator id.
-	tracked map[flowserver.FlowID]netsim.FlowID
+	// Mayflower flow bookkeeping: Flowserver id → fabric flow id.
+	tracked map[flowserver.FlowID]fabric.FlowID
 
 	skipped int // failed selections (should stay zero)
 	polling bool
@@ -266,9 +323,9 @@ func (r *runner) setupPolicies() {
 			MultiReplica:      cfg.MultiReplica && cfg.Scheme == SchemeMayflower,
 			DisableImpactTerm: cfg.DisableImpactTerm,
 			DisableFreeze:     cfg.DisableFreeze,
-			Now:               r.sim.Now,
+			Now:               r.fab.Now,
 		})
-		r.tracked = make(map[flowserver.FlowID]netsim.FlowID)
+		r.tracked = make(map[flowserver.FlowID]fabric.FlowID)
 		r.polling = true
 	}
 	switch cfg.Scheme {
@@ -291,7 +348,7 @@ func (r *runner) setupPolicies() {
 func (r *runner) scheduleJobs(jobs []workload.Job) {
 	for _, job := range jobs {
 		job := job
-		r.sim.Schedule(job.Time, func() { r.startJob(job) })
+		r.fab.Schedule(job.Time, func() { r.startJob(job) })
 	}
 }
 
@@ -321,8 +378,8 @@ func (r *runner) scheduleBackground(horizon float64) {
 		}
 		bits := r.cfg.FileBits
 		start := now
-		r.sim.Schedule(start, func() {
-			r.sim.StartFlow(netsim.FlowConfig{Links: path, Bits: bits})
+		r.fab.Schedule(start, func() {
+			r.fab.StartFlow(fabric.FlowConfig{Links: path, Bits: bits})
 		})
 	}
 }
@@ -335,7 +392,7 @@ func (r *runner) schedulePolling() {
 	if !r.polling {
 		return
 	}
-	r.sim.Schedule(r.cfg.StatsInterval, r.pollTick)
+	r.fab.Schedule(r.cfg.StatsInterval, r.pollTick)
 }
 
 // ensurePolling restarts the polling loop after an idle pause.
@@ -344,44 +401,51 @@ func (r *runner) ensurePolling() {
 		return
 	}
 	r.polling = true
-	r.sim.Schedule(r.sim.Now()+r.cfg.StatsInterval, r.pollTick)
+	r.fab.Schedule(r.fab.Now()+r.cfg.StatsInterval, r.pollTick)
 }
 
 // pollTick performs one stats collection cycle and re-arms itself while
 // flows remain in the network.
 func (r *runner) pollTick() {
-	now := r.sim.Now()
+	now := r.fab.Now()
 	if r.fs != nil {
-		statsBatch := make([]flowserver.FlowStat, 0, len(r.tracked))
-		for fsID, simID := range r.tracked {
-			statsBatch = append(statsBatch, flowserver.FlowStat{
-				ID:              fsID,
-				TransferredBits: r.sim.FlowTransferred(simID),
-			})
-		}
-		r.fs.UpdateFlowStats(now, statsBatch)
+		r.fs.PollFrom(now, r)
 	}
 	if r.sinbad != nil {
 		dt := now - r.lastPoll
 		if dt > 0 {
 			for id := 0; id < r.topo.NumLinks(); id++ {
 				lid := topology.LinkID(id)
-				bits := r.sim.LinkTransferred(lid)
+				bits := r.fab.LinkTransferred(lid)
 				r.util[lid] = (bits - r.prevBits[id]) / dt
 				r.prevBits[id] = bits
 			}
 		}
 		r.lastPoll = now
 	}
-	if r.sim.NumActiveFlows() > 0 {
-		r.sim.Schedule(now+r.cfg.StatsInterval, r.pollTick)
+	if r.fab.NumActiveFlows() > 0 {
+		r.fab.Schedule(now+r.cfg.StatsInterval, r.pollTick)
 	} else {
 		r.polling = false
 	}
 }
 
+// FlowStats implements flowserver.StatsSource: the driver reads each
+// tracked flow's byte counter straight off the fabric, standing in for
+// the testbed's edge-switch stats requests.
+func (r *runner) FlowStats() []flowserver.FlowStat {
+	batch := make([]flowserver.FlowStat, 0, len(r.tracked))
+	for fsID, fabID := range r.tracked {
+		batch = append(batch, flowserver.FlowStat{
+			ID:              fsID,
+			TransferredBits: r.fab.FlowTransferred(fabID),
+		})
+	}
+	return batch
+}
+
 // startJob performs replica/path selection for one job and launches its
-// flow(s) in the simulator.
+// flow(s) on the fabric.
 func (r *runner) startJob(job workload.Job) {
 	file := &r.cat.Files[job.FileIndex]
 	measured := job.ID >= r.cfg.WarmupJobs
@@ -438,7 +502,7 @@ func (r *runner) startJob(job workload.Job) {
 			r.skip(measured)
 			return
 		}
-		r.sim.StartFlow(netsim.FlowConfig{
+		r.fab.StartFlow(fabric.FlowConfig{
 			Links:      path,
 			Bits:       file.SizeBits,
 			OnComplete: record,
@@ -473,7 +537,7 @@ func (r *runner) launchAssignments(job workload.Job, as []flowserver.Assignment,
 	ends := make([]float64, 0, len(as))
 	for _, a := range as {
 		a := a
-		simID := r.sim.StartFlow(netsim.FlowConfig{
+		simID := r.fab.StartFlow(fabric.FlowConfig{
 			Links: a.Path,
 			Bits:  a.Bits,
 			OnComplete: func(end float64) {
@@ -499,7 +563,7 @@ func (r *runner) localJob(record func(float64), measured bool) {
 	if measured {
 		r.res.LocalJobs++
 	}
-	record(r.sim.Now())
+	record(r.fab.Now())
 }
 
 func (r *runner) skip(measured bool) {

@@ -1,0 +1,55 @@
+package fabric
+
+import "time"
+
+// Clock abstracts the passage of backend time for wall-clock backends:
+// the emulator's pacers sleep on it and its scheduler fires events by
+// it, so substituting a compressed clock shrinks an emulation's wall
+// time without touching rates, sizes, or the timeline. (The simulator
+// needs no Clock — its event loop is the clock.)
+//
+// All values are float64 seconds since the clock's origin, matching the
+// rest of the fabric contract.
+type Clock interface {
+	// Now returns the current time in fabric seconds.
+	Now() float64
+	// Sleep blocks the caller for d fabric seconds (no-op for d <= 0).
+	Sleep(d float64)
+}
+
+// wallClock maps fabric seconds onto the wall clock, optionally
+// compressed: one wall second is speedup fabric seconds.
+type wallClock struct {
+	origin  time.Time
+	speedup float64
+}
+
+// NewWallClock returns a real-time clock starting at zero now. This is
+// the emulator's default: fabric seconds are wall seconds.
+func NewWallClock() Clock { return NewScaledClock(1) }
+
+// NewScaledClock returns a clock running speedup times faster than the
+// wall clock, starting at zero now. A paced transfer that takes t fabric
+// seconds occupies t/speedup wall seconds, so emulator tests can
+// compress their timelines deterministically — every fabric-time
+// quantity (rates, completion times, poll intervals) is unchanged, only
+// the wall time spent waiting shrinks. Speedups much above ~10 start to
+// run into OS sleep granularity; cross-validation tolerances should
+// widen accordingly. A speedup <= 0 is treated as 1.
+func NewScaledClock(speedup float64) Clock {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &wallClock{origin: time.Now(), speedup: speedup}
+}
+
+func (c *wallClock) Now() float64 {
+	return time.Since(c.origin).Seconds() * c.speedup
+}
+
+func (c *wallClock) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(d / c.speedup * float64(time.Second)))
+}

@@ -1,0 +1,185 @@
+package fabric_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/emunet"
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
+	"github.com/mayflower-dfs/mayflower/internal/netsim"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// The conformance suite runs the same scenarios against every Backend
+// implementation. A third backend (e.g. Mininet/tc) joins the evaluation
+// by adding a constructor here and passing these tests.
+func conformanceBackends() map[string]func(*topology.Topology) fabric.Backend {
+	return map[string]func(*topology.Topology) fabric.Backend{
+		"netsim": func(topo *topology.Topology) fabric.Backend {
+			return netsim.New(topo)
+		},
+		"emunet": func(topo *topology.Topology) fabric.Backend {
+			return emunet.NewFabric(emunet.NewWithClock(topo, fabric.NewScaledClock(8)))
+		},
+	}
+}
+
+func conformanceTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(topology.Config{
+		Pods: 2, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 2,
+		EdgeLinkBps: 8e6, EdgeAggLinkBps: 8e6, AggCoreLinkBps: 4e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func intraRackPath(t *testing.T, topo *topology.Topology) topology.Path {
+	t.Helper()
+	paths := topo.ShortestPaths(topo.HostAt(0, 0, 0), topo.HostAt(0, 0, 1))
+	if len(paths) == 0 {
+		t.Fatal("no intra-rack path")
+	}
+	return paths[0]
+}
+
+// TestConformanceFlowLifecycle checks the heart of the contract on every
+// backend: two flows sharing one 8 Mbps path each get the exact 4 Mbps
+// max-min share, counters advance mid-flight, completions land when the
+// share says they should, and counters for finished flows are evicted.
+func TestConformanceFlowLifecycle(t *testing.T) {
+	for name, mk := range conformanceBackends() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			topo := conformanceTopo(t)
+			fab := mk(topo)
+			path := intraRackPath(t, topo)
+
+			const bits = 0.8e6 // 0.2s per flow at the 4 Mbps half-share
+			var idA, idB fabric.FlowID
+			var endA, endB float64
+			fab.Schedule(0, func() {
+				idA = fab.StartFlow(fabric.FlowConfig{Links: path, Bits: bits,
+					OnComplete: func(e float64) { endA = e }})
+				idB = fab.StartFlow(fabric.FlowConfig{Links: path, Bits: bits,
+					OnComplete: func(e float64) { endB = e }})
+				if idA == idB {
+					t.Error("StartFlow reused a flow id")
+				}
+			})
+			fab.Schedule(0.05, func() {
+				if now := fab.Now(); now < 0.05 {
+					t.Errorf("Schedule(0.05) callback ran at Now() = %.4f", now)
+				}
+				if n := fab.NumActiveFlows(); n != 2 {
+					t.Errorf("NumActiveFlows mid-flight = %d, want 2", n)
+				}
+				for _, id := range []fabric.FlowID{idA, idB} {
+					if r := fab.FlowRate(id); r < 3.9e6 || r > 4.1e6 {
+						t.Errorf("FlowRate(%d) = %g, want the 4e6 fair half-share", id, r)
+					}
+				}
+				if tr := fab.FlowTransferred(idA); tr <= 0 || tr >= bits {
+					t.Errorf("FlowTransferred mid-flight = %g, want in (0, %g)", tr, bits)
+				}
+			})
+			if err := fab.Run(); err != nil {
+				t.Fatal(err)
+			}
+			// netsim lands both at exactly 0.2s; emunet pays chunk
+			// quantization and OS-timer slop through the 8x clock.
+			for _, end := range []float64{endA, endB} {
+				if end < 0.19 || end > 0.5 {
+					t.Errorf("completion at %.3fs, want ≈0.2s", end)
+				}
+			}
+			if n := fab.NumActiveFlows(); n != 0 {
+				t.Errorf("NumActiveFlows after Run = %d, want 0", n)
+			}
+			if r := fab.FlowRate(idA); r != 0 {
+				t.Errorf("FlowRate of finished flow = %g, want 0", r)
+			}
+			if tr := fab.FlowTransferred(idA); tr != 0 {
+				t.Errorf("FlowTransferred of evicted flow = %g, want 0", tr)
+			}
+			// Port counter: both flows crossed path[0], every bit credited.
+			if lt := fab.LinkTransferred(path[0]); lt < 2*bits-1 || lt > 2*bits+1 {
+				t.Errorf("LinkTransferred = %g, want %g", lt, 2*bits)
+			}
+		})
+	}
+}
+
+// TestConformanceCancel: cancelling an in-flight flow frees its bandwidth,
+// suppresses its completion callback, and lets Run terminate even though
+// the flow's bits were never fully delivered.
+func TestConformanceCancel(t *testing.T) {
+	for name, mk := range conformanceBackends() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			topo := conformanceTopo(t)
+			fab := mk(topo)
+			path := intraRackPath(t, topo)
+
+			var id fabric.FlowID
+			completed := false
+			fab.Schedule(0, func() {
+				id = fab.StartFlow(fabric.FlowConfig{
+					Links: path,
+					Bits:  8e6, // 1s alone — far beyond the cancel point
+					OnComplete: func(float64) {
+						completed = true
+					},
+				})
+			})
+			fab.Schedule(0.05, func() {
+				fab.CancelFlow(id)
+				fab.CancelFlow(id) // idempotent
+			})
+			if err := fab.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if completed {
+				t.Error("cancelled flow ran its completion callback")
+			}
+			if n := fab.NumActiveFlows(); n != 0 {
+				t.Errorf("NumActiveFlows after cancel = %d, want 0", n)
+			}
+			if r := fab.FlowRate(id); r != 0 {
+				t.Errorf("FlowRate of cancelled flow = %g, want 0", r)
+			}
+		})
+	}
+}
+
+// TestConformanceRateNotify: the notification hook fires on each
+// reallocation — admission, capacity change, and removal — on every
+// backend.
+func TestConformanceRateNotify(t *testing.T) {
+	for name, mk := range conformanceBackends() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			topo := conformanceTopo(t)
+			fab := mk(topo)
+			path := intraRackPath(t, topo)
+
+			var notifies atomic.Int64
+			fab.SetRateNotify(func() { notifies.Add(1) })
+			fab.Schedule(0, func() {
+				fab.StartFlow(fabric.FlowConfig{Links: path, Bits: 0.4e6})
+			})
+			fab.Schedule(0.01, func() {
+				fab.SetLinkCapacity(path[0], 4e6)
+			})
+			if err := fab.Run(); err != nil {
+				t.Fatal(err)
+			}
+			// admission + capacity change + completion removal.
+			if n := notifies.Load(); n < 3 {
+				t.Errorf("rate notifications = %d, want >= 3", n)
+			}
+		})
+	}
+}

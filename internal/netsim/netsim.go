@@ -35,26 +35,26 @@ import (
 	"math"
 	"sort"
 
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/maxmin"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
-// FlowID identifies a flow within one Sim.
-type FlowID int64
+// FlowID identifies a flow within one Sim. It is the fabric-wide flow id
+// type: the simulator is the virtual-time implementation of
+// fabric.Backend.
+type FlowID = fabric.FlowID
 
 // completionEps is the residual size below which a flow counts as done.
 const completionEps = 1e-3 // bits
 
-// FlowConfig describes a flow to start.
-type FlowConfig struct {
-	// Links is the directed path the flow takes.
-	Links []topology.LinkID
-	// Bits is the amount of data to transfer.
-	Bits float64
-	// OnComplete, if non-nil, runs inside the simulation when the flow
-	// finishes, with the completion time.
-	OnComplete func(endTime float64)
-}
+// FlowConfig describes a flow to start. It is the shared fabric flow
+// description, so drivers written against fabric.Backend use the same
+// type on every substrate.
+type FlowConfig = fabric.FlowConfig
+
+// Sim implements the shared network-backend contract.
+var _ fabric.Backend = (*Sim)(nil)
 
 type simFlow struct {
 	id          FlowID
@@ -122,9 +122,10 @@ type Sim struct {
 
 	linkBits []float64 // cumulative bits forwarded per directed link
 
-	gen       int64 // rate-allocation generation, invalidates completions
-	dirty     bool
-	executing bool
+	gen        int64 // rate-allocation generation, invalidates completions
+	dirty      bool
+	executing  bool
+	rateNotify func()
 
 	// Seeds for the next reallocation: flows added and links whose flow
 	// set or capacity changed since the last one.
@@ -502,6 +503,12 @@ func (s *Sim) finishCompleted() {
 	}
 }
 
+// SetRateNotify installs fn to run (inside the simulation) after every
+// rate reallocation. nil uninstalls. Part of the fabric.Backend
+// contract; the hook is a single nil check per reallocation, so it stays
+// off the allocation hot path.
+func (s *Sim) SetRateNotify(fn func()) { s.rateNotify = fn }
+
 // reallocate recomputes max-min fair rates affected by the changes since
 // the last reallocation and schedules the next completion event. Below
 // globalFillCutoff it reruns the legacy global fill; above it only the
@@ -513,6 +520,9 @@ func (s *Sim) reallocate() {
 		s.reallocateGlobal()
 	} else {
 		s.reallocateComponent()
+	}
+	if s.rateNotify != nil {
+		s.rateNotify()
 	}
 
 	// Schedule the next completion wake-up from fresh estimates over all

@@ -1,0 +1,57 @@
+package sdn
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// CounterBridge mirrors network-fabric byte credits into switch agents'
+// OpenFlow-style counters: it implements fabric.CounterSink, resolving
+// each directed link to the switch driving it and crediting that
+// switch's per-flow and per-port counters (the port number is the link
+// id, matching the flow rules the testbed installs). This is the whole
+// coupling between the data plane and the SDN agents — the fabric does
+// not know switches exist, and the switches cannot tell bridged credits
+// from a hardware ASIC's.
+type CounterBridge struct {
+	topo *topology.Topology
+
+	mu       sync.RWMutex
+	switches map[topology.NodeID]*Switch
+}
+
+// NewCounterBridge creates an empty bridge over a topology.
+func NewCounterBridge(topo *topology.Topology) *CounterBridge {
+	return &CounterBridge{topo: topo, switches: make(map[topology.NodeID]*Switch)}
+}
+
+// Attach binds a switch agent to a topology switch node, so credits for
+// links leaving that node land in the agent's counters.
+func (b *CounterBridge) Attach(node topology.NodeID, sw *Switch) error {
+	n := b.topo.Node(node)
+	if n.Kind == topology.KindHost {
+		return fmt.Errorf("sdn: node %d (%s) is a host, not a switch", node, n.Name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.switches[node]; ok {
+		return fmt.Errorf("sdn: switch already attached to node %d", node)
+	}
+	b.switches[node] = sw
+	return nil
+}
+
+// CreditBytes implements fabric.CounterSink. Credits for links driven by
+// hosts (or by switch nodes with no attached agent) are dropped — hosts
+// have no switch ASIC to count them.
+func (b *CounterBridge) CreditBytes(flowID uint64, link topology.LinkID, bytes uint64) {
+	from := b.topo.Link(link).From
+	b.mu.RLock()
+	sw := b.switches[from]
+	b.mu.RUnlock()
+	if sw != nil {
+		sw.AddBytes(flowID, uint32(link), bytes)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/client"
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/emunet"
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/hdfsbaseline"
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
@@ -95,21 +96,27 @@ type Cluster struct {
 	Topo *topology.Topology
 	Net  *emunet.Network
 
-	mode       Mode
-	controller *sdn.Controller
-	switches   []*sdn.Switch
-	fs         *flowserver.Server
-	fsAddr     string
-	nsSvc      *nameserver.Service
-	nsStore    *kvstore.Store
-	nsSrv      *wire.Server
-	nsAddr     string
-	fsSrv      *wire.Server
-	servers    map[string]*dataserver.Server // host name → dataserver
-	serverIDs  map[topology.NodeID]string    // host node → server id
-	workDir    string
-	ownWorkDir bool
-	start      time.Time
+	// admit is the fabric handle the control plane admits flows through;
+	// everything outside boot speaks this interface, not emunet.
+	admit fabric.Admitter
+	clock fabric.Clock
+
+	mode          Mode
+	controller    *sdn.Controller
+	switches      []*sdn.Switch
+	bridge        *sdn.CounterBridge
+	statsInterval time.Duration
+	fs            *flowserver.Server
+	fsAddr        string
+	nsSvc         *nameserver.Service
+	nsStore       *kvstore.Store
+	nsSrv         *wire.Server
+	nsAddr        string
+	fsSrv         *wire.Server
+	servers       map[string]*dataserver.Server // host name → dataserver
+	serverIDs     map[topology.NodeID]string    // host node → server id
+	workDir       string
+	ownWorkDir    bool
 
 	pollStop chan struct{}
 	pollDone chan struct{}
@@ -145,6 +152,11 @@ type ClusterConfig struct {
 	// (dataserver default if zero). Fault-injection tests shrink it so
 	// death detection fits in test time.
 	HeartbeatInterval time.Duration
+	// Speedup compresses the emulated network's clock: pacing, the
+	// Flowserver's notion of time, and stats polling all run Speedup
+	// times faster than the wall clock, with the fabric-time behaviour
+	// unchanged. <= 0 or unset means real time.
+	Speedup float64
 }
 
 // NewCluster boots a deployment and blocks until every component is
@@ -163,18 +175,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	net := emunet.NewWithClock(topo, fabric.NewScaledClock(cfg.Speedup))
+	// The polling period is configured in fabric seconds; under a
+	// compressed clock the wall-clock ticker shrinks to match.
+	wallPoll := cfg.StatsInterval
+	if cfg.Speedup > 1 {
+		wallPoll = time.Duration(float64(wallPoll) / cfg.Speedup)
+	}
 	c := &Cluster{
-		Topo:      topo,
-		Net:       emunet.New(topo),
-		mode:      cfg.Mode,
-		servers:   make(map[string]*dataserver.Server),
-		serverIDs: make(map[topology.NodeID]string),
-		clients:   make(map[string]*client.Client),
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
-		start:     time.Now(),
-		pollStop:  make(chan struct{}),
-		pollDone:  make(chan struct{}),
-		workDir:   cfg.WorkDir,
+		Topo:          topo,
+		Net:           net,
+		admit:         net,
+		clock:         net.Clock(),
+		mode:          cfg.Mode,
+		statsInterval: wallPoll,
+		servers:       make(map[string]*dataserver.Server),
+		serverIDs:     make(map[topology.NodeID]string),
+		clients:       make(map[string]*client.Client),
+		rng:           rand.New(rand.NewSource(cfg.Seed + 1)),
+		pollStop:      make(chan struct{}),
+		pollDone:      make(chan struct{}),
+		workDir:       cfg.WorkDir,
 	}
 	if c.workDir == "" {
 		dir, err := os.MkdirTemp("", "mayflower-testbed-*")
@@ -199,17 +220,19 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 	if err != nil {
 		return err
 	}
+	c.bridge = sdn.NewCounterBridge(c.Topo)
 	switchNodes := append(append(c.Topo.EdgeSwitches(), c.Topo.AggSwitches()...), c.Topo.CoreSwitches()...)
 	for _, node := range switchNodes {
 		sw := sdn.NewSwitch(uint64(node))
 		if err := sw.Connect(ctlAddr.String()); err != nil {
 			return err
 		}
-		if err := c.Net.AttachSwitch(node, sw); err != nil {
+		if err := c.bridge.Attach(node, sw); err != nil {
 			return err
 		}
 		c.switches = append(c.switches, sw)
 	}
+	c.Net.SetCounterSink(c.bridge)
 	deadline := time.Now().Add(10 * time.Second)
 	for len(c.controller.Switches()) < len(switchNodes) {
 		if time.Now().After(deadline) {
@@ -248,11 +271,11 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 		c.fsSrv = wire.NewServer()
 		hooks := flowserver.Hooks{
 			OnAssign: func(a flowserver.Assignment) {
-				_ = c.Net.RegisterFlow(uint64(a.FlowID), a.Path)
+				_ = c.admit.RegisterFlow(uint64(a.FlowID), a.Path)
 				c.installRules(a)
 			},
 			OnFinish: func(id flowserver.FlowID) {
-				c.Net.UnregisterFlow(uint64(id))
+				c.admit.UnregisterFlow(uint64(id))
 			},
 		}
 		if err := flowserver.RegisterRPC(c.fsSrv, c.fs, c.Topo, hooks); err != nil {
@@ -264,7 +287,7 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 		}
 		go c.fsSrv.Serve(fsLn) //nolint:errcheck // Serve returns on Close
 		c.fsAddr = fsLn.Addr().String()
-		go c.pollLoop(cfg.StatsInterval)
+		go c.pollLoop(c.statsInterval)
 	} else {
 		close(c.pollDone)
 		c.ecmp = selection.NewECMP(c.Topo)
@@ -306,7 +329,10 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 	return nil
 }
 
-func (c *Cluster) nowSeconds() float64 { return time.Since(c.start).Seconds() }
+// nowSeconds is the deployment's time base: the fabric clock, so the
+// Flowserver's freeze horizons and stats timestamps stay consistent with
+// pacing even under a compressed clock.
+func (c *Cluster) nowSeconds() float64 { return c.clock.Now() }
 
 // installRules pushes the assignment's path into the switches' flow
 // tables (each switch on the path forwards the flow out of the next
@@ -321,10 +347,8 @@ func (c *Cluster) installRules(a flowserver.Assignment) {
 	}
 }
 
-// pollLoop periodically collects flow byte counters from the edge
-// switches and feeds them to the Flowserver, exactly as §3.3.3 describes
-// ("flow stats are collected for only those flows that originate from
-// dataservers attached to the edge switch being queried").
+// pollLoop periodically feeds switch flow counters to the Flowserver
+// through the shared stats seam.
 func (c *Cluster) pollLoop(interval time.Duration) {
 	defer close(c.pollDone)
 	ticker := time.NewTicker(interval)
@@ -335,28 +359,37 @@ func (c *Cluster) pollLoop(interval time.Duration) {
 			return
 		case <-ticker.C:
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), interval)
-		byFlow := make(map[flowserver.FlowID]float64)
-		for _, edge := range c.Topo.EdgeSwitches() {
-			stats, err := c.controller.FlowStats(ctx, uint64(edge))
-			if err != nil {
-				continue
-			}
-			for _, st := range stats {
-				id := flowserver.FlowID(st.FlowID)
-				bits := float64(st.ByteCount) * 8
-				if bits > byFlow[id] {
-					byFlow[id] = bits
-				}
-			}
-		}
-		cancel()
-		batch := make([]flowserver.FlowStat, 0, len(byFlow))
-		for id, bits := range byFlow {
-			batch = append(batch, flowserver.FlowStat{ID: id, TransferredBits: bits})
-		}
-		c.fs.UpdateFlowStats(c.nowSeconds(), batch)
+		c.fs.PollFrom(c.nowSeconds(), c)
 	}
+}
+
+// FlowStats implements flowserver.StatsSource by querying the edge
+// switches' flow byte counters over the OpenFlow-style control protocol,
+// exactly as §3.3.3 describes ("flow stats are collected for only those
+// flows that originate from dataservers attached to the edge switch
+// being queried").
+func (c *Cluster) FlowStats() []flowserver.FlowStat {
+	ctx, cancel := context.WithTimeout(context.Background(), c.statsInterval)
+	defer cancel()
+	byFlow := make(map[flowserver.FlowID]float64)
+	for _, edge := range c.Topo.EdgeSwitches() {
+		stats, err := c.controller.FlowStats(ctx, uint64(edge))
+		if err != nil {
+			continue
+		}
+		for _, st := range stats {
+			id := flowserver.FlowID(st.FlowID)
+			bits := float64(st.ByteCount) * 8
+			if bits > byFlow[id] {
+				byFlow[id] = bits
+			}
+		}
+	}
+	batch := make([]flowserver.FlowStat, 0, len(byFlow))
+	for id, bits := range byFlow {
+		batch = append(batch, flowserver.FlowStat{ID: id, TransferredBits: bits})
+	}
+	return batch
 }
 
 // NameserverAddr returns the nameserver's RPC address.
@@ -491,10 +524,10 @@ func (c *Cluster) assignECMPFlow(replicaHost, clientHost string) (uint64, func()
 	if err != nil {
 		return 0, nil
 	}
-	if err := c.Net.RegisterFlow(id, path); err != nil {
+	if err := c.admit.RegisterFlow(id, path); err != nil {
 		return 0, nil
 	}
-	return id, func() { c.Net.UnregisterFlow(id) }
+	return id, func() { c.admit.UnregisterFlow(id) }
 }
 
 // Close tears the whole deployment down.

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialContextCancelled: a cancelled context aborts the dial
+// immediately, before any connection exists.
+func TestDialContextCancelled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	cl, err := DialContext(ctx, ln.Addr().String())
+	if err == nil {
+		cl.Close()
+		t.Fatal("dial succeeded with a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("dial error = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled dial took %v, want immediate return", d)
+	}
+}
+
+// TestDialContextConnects: the context-aware dial produces a working
+// client (and Close unwinds its reader — TestMain's leak check fails the
+// package otherwise).
+func TestDialContextConnects(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Register("echo", func(_ context.Context, p json.RawMessage) (any, error) {
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cl, err := DialContext(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var out int
+	if err := cl.Call(ctx, "echo", 42, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != 42 {
+		t.Fatalf("echo = %d, want 42", out)
+	}
+}
+
+// TestCallCancelledMidFlight: cancelling a call whose handler never
+// replies unblocks the caller promptly; the connection stays usable for
+// other calls and Close leaks nothing (TestMain enforces the latter).
+func TestCallCancelledMidFlight(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv := NewServer()
+	if err := srv.Register("hang", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("ping", func(context.Context, json.RawMessage) (any, error) {
+		return "pong", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer srv.Close()
+	defer close(release)
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- cl.Call(ctx, "hang", nil, nil) }()
+	<-entered // the handler is live; the call is truly mid-flight
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Call error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call did not return")
+	}
+
+	// The connection survived the abandoned call.
+	var out string
+	callCtx, callCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer callCancel()
+	if err := cl.Call(callCtx, "ping", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "pong" {
+		t.Fatalf("ping = %q, want pong", out)
+	}
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// frameBytes builds a raw frame with an arbitrary length prefix, which
+// need not match the body length — that mismatch is exactly what the
+// decoder must survive.
+func frameBytes(prefix uint32, body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], prefix)
+	return append(hdr[:], body...)
+}
+
+// FuzzReadFrame throws corrupt, truncated, and oversized frames at the
+// decoder. The decoder must never panic, must reject length prefixes
+// beyond maxFrame, and — the finding that motivated the chunked read —
+// must not allocate prefix-sized buffers for data that never arrives: a
+// 4-byte input claiming a 16 MB body should cost roughly nothing.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(2, []byte(`{}`)))
+	f.Add(frameBytes(0, nil))
+	f.Add(frameBytes(5, []byte(`{"id"`)))      // truncated JSON, honest length
+	f.Add(frameBytes(100, []byte(`{}`)))       // length longer than body
+	f.Add(frameBytes(1, []byte(`{"id":1}`)))   // length shorter than body
+	f.Add(frameBytes(maxFrame+1, nil))         // oversized prefix, no body
+	f.Add(frameBytes(0xffffffff, []byte("x"))) // absurd prefix
+	f.Add(frameBytes(7, []byte("not json")))   // non-JSON body
+	f.Add([]byte{0x00})                        // truncated header
+	f.Add(frameBytes(3, []byte(`123`)))        // JSON, wrong shape
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		err := readFrame(bytes.NewReader(data), &req)
+		if len(data) < 4 {
+			if err == nil {
+				t.Fatal("decoded a frame from a truncated header")
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(data[:4])
+		switch {
+		case n > maxFrame:
+			if err == nil {
+				t.Fatalf("accepted oversized frame (%d bytes)", n)
+			}
+		case uint32(len(data)-4) < n:
+			if err == nil {
+				t.Fatalf("decoded a frame missing %d body bytes", n-uint32(len(data)-4))
+			}
+			if err == io.EOF {
+				// A frame cut off mid-body must be distinguishable from a
+				// clean end-of-stream, or reconnect logic would treat
+				// half a message as a graceful close.
+				t.Fatal("short body reported as clean EOF")
+			}
+		}
+	})
+}
+
+// TestReadFrameShortBody pins the truncation semantics outside the
+// fuzzer: a clean EOF at a frame boundary is io.EOF, mid-header is
+// io.ErrUnexpectedEOF, and mid-body is io.ErrUnexpectedEOF.
+func TestReadFrameShortBody(t *testing.T) {
+	var req request
+	if err := readFrame(bytes.NewReader(nil), &req); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+	if err := readFrame(bytes.NewReader([]byte{0, 0}), &req); err != io.ErrUnexpectedEOF {
+		t.Errorf("mid-header cut: got %v, want io.ErrUnexpectedEOF", err)
+	}
+	if err := readFrame(bytes.NewReader(frameBytes(10, []byte("abc"))), &req); err != io.ErrUnexpectedEOF {
+		t.Errorf("mid-body cut: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}

@@ -1,0 +1,14 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// every client and server a wire test starts must be closed, and closing
+// must actually unwind the reader goroutines.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

@@ -10,6 +10,7 @@
 package wire
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -71,20 +72,36 @@ func writeFrame(w io.Writer, mu *sync.Mutex, v any) error {
 	return err
 }
 
+// readBufCap caps the upfront buffer reservation while a frame's body
+// arrives. The length prefix is untrusted until that many bytes actually
+// show up, so a corrupt prefix must not cost a maxFrame-sized
+// allocation; frames larger than this (rare — control messages are
+// small) grow the buffer as data arrives.
+const readBufCap = 64 << 10
+
 func readFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int64(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return fmt.Errorf("wire: frame too large (%d bytes)", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	var body bytes.Buffer
+	grow := n
+	if grow > readBufCap {
+		grow = readBufCap
+	}
+	body.Grow(int(grow))
+	m, err := body.ReadFrom(io.LimitReader(r, n))
+	if err != nil {
 		return err
 	}
-	return json.Unmarshal(body, v)
+	if m < n {
+		return io.ErrUnexpectedEOF
+	}
+	return json.Unmarshal(body.Bytes(), v)
 }
 
 // Handler processes one request's parameters and returns a result to be
@@ -279,6 +296,18 @@ func Dial(addr string) (*Client, error) {
 // dead or partitioned peer surfaces as an error instead of a hang.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// DialContext connects to a wire server, honouring ctx cancellation and
+// deadline during the TCP connect: cancelling the context aborts an
+// in-flight dial promptly, with no connection left behind.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
