@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz bench cover check clean
+.PHONY: all build vet fmt-check test race fuzz bench bench-check cover check clean
 
 all: build
 
@@ -45,6 +45,17 @@ bench:
 		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim \
 		| $(GO) run ./cmd/bench2json > BENCH_selection.json
 	@cat BENCH_selection.json
+
+# bench-check reruns the hot-path benchmarks and fails if any of them
+# regressed more than 20% ns/op (or grew allocs/op) against the committed
+# BENCH_selection.json baseline. Runs at the same default 1s benchtime the
+# baseline was recorded with — shorter runs shrink N enough that one-time
+# warm-up allocations tip the allocs/op average. CI's bench-smoke job
+# runs this.
+bench-check:
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim \
+		| $(GO) run ./cmd/bench2json -compare BENCH_selection.json -max-regress 0.20
 
 check: build vet fmt-check race
 

@@ -12,6 +12,13 @@ go build ./...
 echo '--- go vet'
 go vet ./...
 
+echo '--- govulncheck'
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo 'govulncheck not installed; skipping (the GitHub workflow runs it)'
+fi
+
 echo '--- gofmt'
 unformatted="$(gofmt -l .)"
 if [ -n "$unformatted" ]; then

@@ -3,14 +3,21 @@
 // benchmarks through it to produce BENCH_selection.json, the committed
 // performance baseline for the incremental allocator hot path.
 //
+// It also gates CI on that baseline: with -compare, instead of emitting
+// JSON it diffs the parsed results against a committed baseline and
+// exits nonzero when any baseline benchmark is missing, slows down by
+// more than -max-regress, or allocates more per op.
+//
 // Usage:
 //
 //	go test -bench . -benchmem ./... | bench2json > bench.json
+//	go test -bench . -benchmem ./... | bench2json -compare BENCH_selection.json -max-regress 0.20
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -40,17 +47,101 @@ type Report struct {
 }
 
 func main() {
+	var (
+		compareFile = flag.String("compare", "", "baseline JSON to diff against instead of emitting JSON; exit 1 on regression")
+		maxRegress  = flag.Float64("max-regress", 0.20, "with -compare: allowed fractional ns/op slowdown per benchmark")
+	)
+	flag.Parse()
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+
+	if *compareFile != "" {
+		base, err := loadReport(*compareFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		if err := compare(os.Stdout, base, rep, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads a baseline JSON document written by this tool.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	return &rep, nil
+}
+
+// compare diffs cur against every baseline benchmark, printing one line
+// per comparison, and returns an error if any baseline benchmark is
+// missing from cur, slowed down by more than maxRegress, or allocates
+// more per op than the baseline. Benchmarks present only in cur are
+// noted but never fail the gate (the baseline defines the contract).
+// Iteration counts and absolute machine speed vary between hosts, so
+// the gate is relative: cur ns/op vs baseline ns/op on the same run's
+// machine is only meaningful when both sides ran on comparable hardware
+// — which is why CI regenerates the current side in the same job.
+func compare(w io.Writer, base, cur *Report, maxRegress float64) error {
+	byName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "delta", "verdict")
+	var failures []string
+	for _, b := range base.Benchmarks {
+		c, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14.0f %14s %8s  MISSING\n", b.Name, b.NsPerOp, "-", "-")
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		delete(byName, b.Name)
+		delta := c.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESS"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs %.0f baseline (%+.1f%% > %+.1f%% allowed)",
+				b.Name, c.NsPerOp, b.NsPerOp, delta*100, maxRegress*100))
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *c.AllocsPerOp > *b.AllocsPerOp {
+			verdict = "REGRESS"
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs %.0f baseline",
+				b.Name, *c.AllocsPerOp, *b.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%%  %s\n", b.Name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	for name := range byName {
+		fmt.Fprintf(w, "%-28s %14s %14.0f %8s  new\n", name, "-", byName[name].NsPerOp, "-")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parse reads `go test -bench` output and collects every benchmark result

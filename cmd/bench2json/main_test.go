@@ -63,3 +63,64 @@ func TestParseRejectsEmpty(t *testing.T) {
 		t.Error("no error for input without benchmark lines")
 	}
 }
+
+func fp(v float64) *float64 { return &v }
+
+func baselineReport() *Report {
+	return &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSelect/1k", NsPerOp: 1000, AllocsPerOp: fp(3)},
+		{Name: "BenchmarkNetsimChurn/1k", NsPerOp: 2000, AllocsPerOp: fp(7)},
+	}}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSelect/1k", NsPerOp: 1150, AllocsPerOp: fp(3)},
+		{Name: "BenchmarkNetsimChurn/1k", NsPerOp: 1800, AllocsPerOp: fp(7)},
+		{Name: "BenchmarkNew/extra", NsPerOp: 50},
+	}}
+	var out strings.Builder
+	if err := compare(&out, baselineReport(), cur, 0.20); err != nil {
+		t.Fatalf("compare failed within budget: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Errorf("extra benchmark not reported as new:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnSlowdown(t *testing.T) {
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSelect/1k", NsPerOp: 1300, AllocsPerOp: fp(3)},
+		{Name: "BenchmarkNetsimChurn/1k", NsPerOp: 2000, AllocsPerOp: fp(7)},
+	}}
+	var out strings.Builder
+	err := compare(&out, baselineReport(), cur, 0.20)
+	if err == nil {
+		t.Fatalf("compare passed a 30%% slowdown:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSelect/1k") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestCompareFailsOnAllocGrowth(t *testing.T) {
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSelect/1k", NsPerOp: 900, AllocsPerOp: fp(4)},
+		{Name: "BenchmarkNetsimChurn/1k", NsPerOp: 1900, AllocsPerOp: fp(7)},
+	}}
+	var out strings.Builder
+	if err := compare(&out, baselineReport(), cur, 0.20); err == nil {
+		t.Fatalf("compare passed an allocs/op increase:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSelect/1k", NsPerOp: 1000, AllocsPerOp: fp(3)},
+	}}
+	var out strings.Builder
+	err := compare(&out, baselineReport(), cur, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing baseline benchmark not flagged: %v\n%s", err, out.String())
+	}
+}

@@ -13,6 +13,7 @@
 //	mayflower-bench                    # Figure 8 at the default rates
 //	mayflower-bench -lambdas 2,2.5,3 -jobs 140 -filebytes 1048576
 //	mayflower-bench -multiread         # §4.3 split reads on the prototype
+//	mayflower-bench -metrics-out m.json  # dump counters + drift audit
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/testbed"
 )
 
@@ -36,13 +38,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mayflower-bench", flag.ContinueOnError)
 	var (
-		lambdas   = fs.String("lambdas", "2,2.5,3", "comma-separated per-server arrival rates (scaled timebase)")
-		jobs      = fs.Int("jobs", 140, "jobs per run")
-		warmup    = fs.Int("warmup", 20, "jobs excluded from statistics")
-		files     = fs.Int("files", 40, "catalog size")
-		fileBytes = fs.Int64("filebytes", 1<<20, "bytes per file")
-		seed      = fs.Int64("seed", 1, "workload seed")
-		multiread = fs.Bool("multiread", false, "also run Mayflower with §4.3 multi-replica reads")
+		lambdas    = fs.String("lambdas", "2,2.5,3", "comma-separated per-server arrival rates (scaled timebase)")
+		jobs       = fs.Int("jobs", 140, "jobs per run")
+		warmup     = fs.Int("warmup", 20, "jobs excluded from statistics")
+		files      = fs.Int("files", 40, "catalog size")
+		fileBytes  = fs.Int64("filebytes", 1<<20, "bytes per file")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		multiread  = fs.Bool("multiread", false, "also run Mayflower with §4.3 multi-replica reads")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot (flowserver/fabric counters, cumulative drift histograms) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +53,21 @@ func run(args []string, out io.Writer) error {
 	rates, err := parseRates(*lambdas)
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mayflower-bench: writing metrics:", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mayflower-bench: writing metrics:", err)
+			}
+		}()
 	}
 
 	fmt.Fprintln(out, "=== Figure 8: prototype comparison with HDFS (emulated network) ===")
@@ -64,6 +82,7 @@ func run(args []string, out io.Writer) error {
 			cfg.NumFiles = *files
 			cfg.FileBytes = *fileBytes
 			cfg.Seed = *seed
+			cfg.Metrics = reg
 			res, err := testbed.RunExperiment(cfg)
 			if err != nil {
 				return fmt.Errorf("λ=%g %v: %w", lambda, mode, err)
@@ -83,6 +102,7 @@ func run(args []string, out io.Writer) error {
 			cfg.FileBytes = *fileBytes
 			cfg.Seed = *seed
 			cfg.MultiReplica = multi
+			cfg.Metrics = reg
 			res, err := testbed.RunExperiment(cfg)
 			if err != nil {
 				return fmt.Errorf("multiread=%v: %w", multi, err)

@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 )
 
 func main() {
@@ -26,14 +27,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mayflower-dataserver", flag.ContinueOnError)
 	var (
-		id      = fs.String("id", "", "stable server identity (required)")
-		root    = fs.String("root", "mayflower-data", "chunk store directory")
-		host    = fs.String("host", "", "topology host name this server runs on (required)")
-		pod     = fs.Int("pod", 0, "fault-domain pod index")
-		rack    = fs.Int("rack", 0, "fault-domain rack index")
-		ctlAddr = fs.String("listen-control", "127.0.0.1:0", "control RPC listen address")
-		dataAdr = fs.String("listen-data", "127.0.0.1:0", "bulk data listen address")
-		nsAddr  = fs.String("nameserver", "127.0.0.1:7000", "nameserver RPC address")
+		id        = fs.String("id", "", "stable server identity (required)")
+		root      = fs.String("root", "mayflower-data", "chunk store directory")
+		host      = fs.String("host", "", "topology host name this server runs on (required)")
+		pod       = fs.Int("pod", 0, "fault-domain pod index")
+		rack      = fs.Int("rack", 0, "fault-domain rack index")
+		ctlAddr   = fs.String("listen-control", "127.0.0.1:0", "control RPC listen address")
+		dataAdr   = fs.String("listen-data", "127.0.0.1:0", "bulk data listen address")
+		nsAddr    = fs.String("nameserver", "127.0.0.1:7000", "nameserver RPC address")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/metrics (runtime gauges) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +66,17 @@ func run(args []string) error {
 	}
 	if err := srv.Start(ctlLn, dataLn, *nsAddr); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		dbg, bound, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("dataserver %s: metrics on http://%s/debug/metrics", *id, bound)
 	}
 	log.Printf("dataserver %s on host %s: control %s, data %s", *id, *host, srv.ControlAddr(), srv.DataAddr())
 

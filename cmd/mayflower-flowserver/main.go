@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/sdn"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
@@ -33,18 +34,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mayflower-flowserver", flag.ContinueOnError)
 	var (
-		rpcAddr  = fs.String("listen", "127.0.0.1:7100", "replica-path selection RPC listen address")
-		ofAddr   = fs.String("controller-listen", "127.0.0.1:6633", "OpenFlow-style controller listen address")
-		poll     = fs.Duration("poll", time.Second, "switch stats polling interval")
-		multi    = fs.Bool("multiread", false, "enable §4.3 multi-replica read splitting")
-		pods     = fs.Int("pods", 4, "topology: pods")
-		racks    = fs.Int("racks", 4, "topology: racks per pod")
-		hosts    = fs.Int("hosts", 4, "topology: hosts per rack")
-		aggs     = fs.Int("aggs", 2, "topology: aggregation switches per pod")
-		cores    = fs.Int("cores", 2, "topology: core switches")
-		edgeMbps = fs.Float64("edge-mbps", 1000, "edge link capacity (Mbps)")
-		eaMbps   = fs.Float64("edgeagg-mbps", 1000, "edge-aggregation link capacity (Mbps)")
-		acMbps   = fs.Float64("aggcore-mbps", 500, "aggregation-core link capacity (Mbps)")
+		rpcAddr   = fs.String("listen", "127.0.0.1:7100", "replica-path selection RPC listen address")
+		ofAddr    = fs.String("controller-listen", "127.0.0.1:6633", "OpenFlow-style controller listen address")
+		poll      = fs.Duration("poll", time.Second, "switch stats polling interval")
+		multi     = fs.Bool("multiread", false, "enable §4.3 multi-replica read splitting")
+		pods      = fs.Int("pods", 4, "topology: pods")
+		racks     = fs.Int("racks", 4, "topology: racks per pod")
+		hosts     = fs.Int("hosts", 4, "topology: hosts per rack")
+		aggs      = fs.Int("aggs", 2, "topology: aggregation switches per pod")
+		cores     = fs.Int("cores", 2, "topology: core switches")
+		edgeMbps  = fs.Float64("edge-mbps", 1000, "edge link capacity (Mbps)")
+		eaMbps    = fs.Float64("edgeagg-mbps", 1000, "edge-aggregation link capacity (Mbps)")
+		acMbps    = fs.Float64("aggcore-mbps", 500, "aggregation-core link capacity (Mbps)")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/metrics (selection/poll counters, runtime gauges) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,11 +73,22 @@ func run(args []string) error {
 	}
 	defer controller.Close()
 
+	reg := obs.NewRegistry()
 	start := time.Now()
 	srv := flowserver.New(topo, flowserver.Options{
 		MultiReplica: *multi,
 		Now:          func() float64 { return time.Since(start).Seconds() },
+		Metrics:      reg,
 	})
+	if *debugAddr != "" {
+		obs.RegisterRuntimeMetrics(reg)
+		dbg, bound, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("flowserver: metrics on http://%s/debug/metrics", bound)
+	}
 
 	rpc := wire.NewServer()
 	hooks := flowserver.Hooks{

@@ -29,6 +29,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/paxos"
 	"github.com/mayflower-dfs/mayflower/internal/repair"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
@@ -52,6 +53,7 @@ func run(args []string) error {
 		paxosListen = fs.String("paxos-listen", "127.0.0.1:7500", "Paxos RPC listen address (replicated mode)")
 		rebuild     = fs.Bool("rebuild", false, "discard the file table and rebuild it by scanning the registered dataservers (after an unexpected restart, §3.3.1)")
 		repairEvery = fs.Duration("repair-interval", 0, "run re-replication passes at this interval (0 disables); dead = no heartbeat for 5 intervals")
+		debugAddr   = fs.String("debug-addr", "", "serve /debug/metrics (file/server gauges, runtime gauges) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,6 +109,19 @@ func run(args []string) error {
 	srv := wire.NewServer()
 	if err := nameserver.RegisterRPC(srv, meta); err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		reg.RegisterGaugeFunc("nameserver.files", func() float64 { return float64(svc.NumFiles()) })
+		reg.RegisterGaugeFunc("nameserver.servers", func() float64 { return float64(len(svc.Servers())) })
+		obs.RegisterRuntimeMetrics(reg)
+		dbg, bound, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("nameserver: metrics on http://%s/debug/metrics", bound)
 	}
 
 	repairStop := make(chan struct{})

@@ -20,6 +20,9 @@
 // (real paced bytes in wall time; shrink -jobs and raise -emu-speedup,
 // or a run takes as long as the workload it emulates).
 // Profiling: -cpuprofile and -memprofile write pprof profiles for the run.
+// Observability: -metrics-out snapshot.json dumps the run's metrics
+// registry (flowserver/fabric counters, flow-model drift histograms) as
+// JSON; -progress prints per-scheme job progress to stderr.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/mayflower-dfs/mayflower/internal/experiment"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 )
 
 func main() {
@@ -43,19 +47,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mayflower-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
-		jobs    = fs.Int("jobs", 1200, "number of read jobs per run")
-		warmup  = fs.Int("warmup", 100, "jobs excluded from statistics")
-		files   = fs.Int("files", 300, "catalog size")
-		lambda  = fs.Float64("lambda", 0.07, "per-server Poisson arrival rate")
-		seed    = fs.Int64("seed", 1, "workload seed")
-		oversub = fs.Float64("oversub", 8, "core-to-rack oversubscription ratio")
-		multi   = fs.Bool("multi", false, "enable §4.3 multi-replica reads for the Mayflower scheme")
-		backend = fs.String("backend", "netsim", "network backend: netsim (virtual time) or emunet (emulated bytes, wall time)")
-		speedup = fs.Float64("emu-speedup", 1, "emunet only: compress the emulation clock by this factor")
-		asCSV   = fs.Bool("csv", false, "emit figures 4/5/6a/6b/7 as CSV instead of tables")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
+		jobs       = fs.Int("jobs", 1200, "number of read jobs per run")
+		warmup     = fs.Int("warmup", 100, "jobs excluded from statistics")
+		files      = fs.Int("files", 300, "catalog size")
+		lambda     = fs.Float64("lambda", 0.07, "per-server Poisson arrival rate")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		oversub    = fs.Float64("oversub", 8, "core-to-rack oversubscription ratio")
+		multi      = fs.Bool("multi", false, "enable §4.3 multi-replica reads for the Mayflower scheme")
+		backend    = fs.String("backend", "netsim", "network backend: netsim (virtual time) or emunet (emulated bytes, wall time)")
+		speedup    = fs.Float64("emu-speedup", 1, "emunet only: compress the emulation clock by this factor")
+		asCSV      = fs.Bool("csv", false, "emit figures 4/5/6a/6b/7 as CSV instead of tables")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot (counters, drift histograms) to this file on exit")
+		progress   = fs.Bool("progress", false, "print per-scheme job progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +109,24 @@ func run(args []string, out io.Writer) error {
 	base.Seed = *seed
 	base.Oversubscription = *oversub
 	base.MultiReplica = *multi
+	if *progress {
+		base.Progress = os.Stderr
+	}
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		base.Metrics = reg
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mayflower-sim: writing metrics:", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mayflower-sim: writing metrics:", err)
+			}
+		}()
+	}
 
 	if *fig == "all" {
 		for _, name := range []string{"4", "5", "6a", "6b", "7", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {

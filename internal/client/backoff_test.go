@@ -1,0 +1,63 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayNeverNegative is the regression test for the shift
+// overflow: RetryBackoff << (pass-1) flips negative once pass exceeds
+// ~62, and time.After fires immediately on non-positive durations,
+// turning the failover backoff into a hot retry loop for large
+// configured ReadRetries.
+func TestBackoffDelayNeverNegative(t *testing.T) {
+	base := 50 * time.Millisecond
+	prev := time.Duration(0)
+	for pass := 1; pass <= 1000; pass++ {
+		d := backoffDelay(base, pass)
+		if d <= 0 {
+			t.Fatalf("pass %d: delay %v is not positive (shift overflow)", pass, d)
+		}
+		if d > maxBackoff {
+			t.Fatalf("pass %d: delay %v exceeds cap %v", pass, d, maxBackoff)
+		}
+		if d < prev {
+			t.Fatalf("pass %d: delay %v < previous %v (not monotone)", pass, d, prev)
+		}
+		prev = d
+	}
+	// The huge pass numbers that used to overflow.
+	for _, pass := range []int{63, 64, 65, 1 << 20, 1<<31 - 1} {
+		if d := backoffDelay(base, pass); d != maxBackoff {
+			t.Errorf("pass %d: delay %v, want saturated %v", pass, d, maxBackoff)
+		}
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	base := 50 * time.Millisecond
+	want := []time.Duration{
+		50 * time.Millisecond,  // pass 1
+		100 * time.Millisecond, // pass 2
+		200 * time.Millisecond, // pass 3
+		400 * time.Millisecond, // pass 4
+		800 * time.Millisecond, // pass 5
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if d := backoffDelay(base, i+1); d != w {
+			t.Errorf("pass %d: delay %v, want %v", i+1, d, w)
+		}
+	}
+	if d := backoffDelay(0, 5); d != 0 {
+		t.Errorf("zero base: delay %v, want 0", d)
+	}
+	if d := backoffDelay(5*time.Second, 1); d != maxBackoff {
+		t.Errorf("over-cap base: delay %v, want %v", d, maxBackoff)
+	}
+	if d := backoffDelay(base, 0); d != base {
+		t.Errorf("pass 0 clamps to base: got %v", d)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -110,6 +111,28 @@ type Options struct {
 	// selection; defaults to parsing the canonical
 	// "host-p<pod>-r<rack>-h<idx>" scheme. Unknown hosts sort last.
 	Locate Locator
+	// Metrics optionally publishes the client's failover and attempt
+	// counters under "client." names. Instrumentation is always on.
+	Metrics *obs.Registry
+}
+
+// clientMetrics counts the fault-handling read path: failover passes,
+// per-replica attempt outcomes, time spent backing off, and reads that
+// ran degraded (no Flowserver schedule).
+type clientMetrics struct {
+	failoverPasses obs.Counter
+	attemptsOK     obs.Counter
+	attemptsErr    obs.Counter
+	readsDegraded  obs.Counter
+	backoffSeconds *obs.Histogram
+}
+
+func (m *clientMetrics) register(r *obs.Registry) {
+	r.RegisterCounter("client.failover_passes", &m.failoverPasses)
+	r.RegisterCounter("client.read_attempts_ok", &m.attemptsOK)
+	r.RegisterCounter("client.read_attempts_err", &m.attemptsErr)
+	r.RegisterCounter("client.reads_degraded", &m.readsDegraded)
+	r.RegisterHistogram("client.backoff_seconds", m.backoffSeconds)
 }
 
 type cacheEntry struct {
@@ -127,6 +150,8 @@ type Client struct {
 	cache map[string]cacheEntry
 	ctl   map[string]*wire.Client // dataserver control connections
 	rng   *rand.Rand
+
+	met clientMetrics
 }
 
 // New connects a client.
@@ -184,6 +209,10 @@ func New(opts Options) (*Client, error) {
 		cache: make(map[string]cacheEntry),
 		ctl:   make(map[string]*wire.Client),
 		rng:   rng,
+	}
+	c.met.backoffSeconds = obs.NewHistogram(1e-4, 10)
+	if opts.Metrics != nil {
+		c.met.register(opts.Metrics)
 	}
 	if opts.FlowserverAddr != "" {
 		// The Flowserver is an optimizer, not a dependency: if it is
@@ -493,6 +522,7 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 	if primaryOnly || c.fs == nil {
 		cands := []nameserver.ReplicaLoc{info.Primary()}
 		if !primaryOnly {
+			c.met.readsDegraded.Inc()
 			first := info.Primary()
 			if c.opts.PickReplica != nil {
 				first = c.opts.PickReplica(info)
@@ -536,6 +566,7 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 		}
 		// The Flowserver is an optimizer, not a dependency: degrade to
 		// locality-order replica selection with unscheduled flows.
+		c.met.readsDegraded.Inc()
 		return c.readWithFailover(ctx, name, info, c.orderCandidates(info, nil), nil, offset, buf, false)
 	}
 

@@ -97,6 +97,7 @@ func (c *Client) readWithFailover(ctx context.Context, name string, info nameser
 	var errs []error
 	for pass := 0; pass < retries; pass++ {
 		if pass > 0 {
+			c.met.failoverPasses.Inc()
 			if err := c.backoff(ctx, pass); err != nil {
 				return errors.Join(append(errs, err)...)
 			}
@@ -125,8 +126,10 @@ func (c *Client) readWithFailover(ctx context.Context, name string, info nameser
 				done()
 			}
 			if err == nil {
+				c.met.attemptsOK.Inc()
 				return nil
 			}
+			c.met.attemptsErr.Inc()
 			errs = append(errs, err)
 			if ctx.Err() != nil {
 				return errors.Join(errs...)
@@ -150,16 +153,46 @@ func (c *Client) readAttempt(ctx context.Context, name string, info nameserver.F
 // backoff sleeps the exponential retry delay for the given pass (1-based),
 // aborting early if ctx is done.
 func (c *Client) backoff(ctx context.Context, pass int) error {
-	d := c.opts.RetryBackoff << (pass - 1)
-	if max := 2 * time.Second; d > max {
-		d = max
-	}
+	d := backoffDelay(c.opts.RetryBackoff, pass)
+	start := time.Now()
+	defer func() { c.met.backoffSeconds.Observe(time.Since(start).Seconds()) }()
 	select {
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-time.After(d):
 		return nil
 	}
+}
+
+// maxBackoff caps the delay between failover passes: past a couple of
+// seconds more waiting only delays the error the application will see.
+const maxBackoff = 2 * time.Second
+
+// backoffDelay computes the exponential delay for a 1-based retry pass,
+// saturating at maxBackoff. The exponent is clamped before shifting:
+// base << (pass-1) overflows int64 once pass exceeds ~62, flipping the
+// duration negative and turning backoff into a hot retry loop
+// (time.After fires immediately on non-positive durations).
+func backoffDelay(base time.Duration, pass int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if base >= maxBackoff {
+		return maxBackoff
+	}
+	shift := pass - 1
+	if shift < 0 {
+		shift = 0
+	}
+	// base < 2s < 2^31 ns, so any shift past 31 saturates without ever
+	// being computed (31 + 31 < 63 bits: no overflow below the clamp).
+	if shift > 31 {
+		return maxBackoff
+	}
+	if d := base << uint(shift); d > 0 && d < maxBackoff {
+		return d
+	}
+	return maxBackoff
 }
 
 // statReplicas asks the primary, then the remaining replicas in order, for

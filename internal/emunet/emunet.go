@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"github.com/mayflower-dfs/mayflower/internal/fabric"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
@@ -82,6 +83,19 @@ type Network struct {
 	linkBits   []float64 // cumulative bits forwarded per directed link
 	sink       fabric.CounterSink
 	rateNotify func()
+
+	// Reallocation instrumentation (atomic; see AttachMetrics).
+	reallocs    obs.Counter
+	activeFlows obs.Gauge
+}
+
+// AttachMetrics publishes the network's reallocation counters into r
+// under "emunet." names. The emulated fabric recomputes every rate
+// globally (no component allocator), so only the reallocation count and
+// the live-flow gauge exist here.
+func (n *Network) AttachMetrics(r *obs.Registry) {
+	r.RegisterCounter("emunet.reallocs", &n.reallocs)
+	r.RegisterGauge("emunet.active_flows", &n.activeFlows)
 }
 
 var _ fabric.Admitter = (*Network)(nil)
@@ -242,6 +256,8 @@ func (n *Network) LinkTransferred(id topology.LinkID) float64 {
 // fabric table. Caller must hold n.mu; the returned notifier (nil if
 // none installed) must be invoked after releasing it.
 func (n *Network) reallocateLocked() func() {
+	n.reallocs.Inc()
+	n.activeFlows.Set(int64(len(n.flows)))
 	n.table.Reallocate()
 	n.table.Each(func(id uint64, rate float64) {
 		f := n.flows[id]

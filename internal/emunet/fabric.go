@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/mayflower-dfs/mayflower/internal/fabric"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
@@ -51,6 +52,10 @@ func NewFabric(n *Network) *Fabric {
 
 // Network returns the underlying emulated network.
 func (f *Fabric) Network() *Network { return f.net }
+
+// AttachMetrics publishes the underlying network's reallocation counters
+// into r (see Network.AttachMetrics).
+func (f *Fabric) AttachMetrics(r *obs.Registry) { f.net.AttachMetrics(r) }
 
 // Topology returns the topology the backend runs over.
 func (f *Fabric) Topology() *topology.Topology { return f.net.topo }

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/obs"
+)
+
+// fig4DriftMeanBound / fig4DriftP95Bound are the documented flow-model
+// drift bounds for the Figure 4 workload (DESIGN.md §10): the mean
+// relative error between the Flowserver's bandwidth estimates and the
+// netsim fabric's true fair shares stays under 15%, p95 under 100%.
+// Measured values on the scaled workload are ~6.5% mean / ~55% p95; the
+// bounds leave headroom for workload-scale tweaks without letting the
+// estimator quietly rot.
+const (
+	fig4DriftMeanBound = 0.15
+	fig4DriftP95Bound  = 1.0
+)
+
+// TestDriftAuditExactWhenFlowsDontOverlap runs a trace so sparse that
+// flows never share a link. The Flowserver's water-filling estimate for
+// a lone flow is the path bottleneck capacity — exactly the fabric's
+// fair share — so every audited sample must report zero relative error.
+func TestDriftAuditExactWhenFlowsDontOverlap(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 40
+	cfg.WarmupJobs = 5
+	cfg.Lambda = 0.0001
+	res := mustRun(t, cfg)
+	if res.Drift == nil {
+		t.Fatal("no drift summary for a Flowserver scheme")
+	}
+	d := *res.Drift
+	if d.Samples == 0 {
+		t.Fatal("drift audit collected no samples")
+	}
+	if d.ZeroTruth != 0 {
+		t.Errorf("ZeroTruth = %d, want 0 (every audited flow was live)", d.ZeroTruth)
+	}
+	if d.MeanRelErr != 0 || d.MaxRelErr != 0 {
+		t.Errorf("lone flows drifted: mean=%g max=%g, want 0", d.MeanRelErr, d.MaxRelErr)
+	}
+}
+
+// TestDriftAuditDetectsInvisibleTraffic forces model staleness with
+// unscheduled background traffic: the fabric shares links with flows
+// the Flowserver cannot see, so its estimates must drift. The auditor
+// has to show a clearly larger error than the clean run — this is the
+// failure mode the audit exists to catch.
+func TestDriftAuditDetectsInvisibleTraffic(t *testing.T) {
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 250
+	cfg.WarmupJobs = 30
+
+	clean := mustRun(t, cfg)
+
+	cfg.BackgroundLoad = 1.0
+	stale := mustRun(t, cfg)
+
+	if clean.Drift == nil || stale.Drift == nil {
+		t.Fatal("missing drift summary")
+	}
+	if stale.Drift.MeanRelErr < 0.3 {
+		t.Errorf("stale mean drift %g, want >= 0.3 with invisible traffic", stale.Drift.MeanRelErr)
+	}
+	if stale.Drift.MeanRelErr < 5*clean.Drift.MeanRelErr {
+		t.Errorf("stale mean drift %g not clearly above clean %g",
+			stale.Drift.MeanRelErr, clean.Drift.MeanRelErr)
+	}
+}
+
+// TestDriftNilWithoutFlowserver: schemes that never consult a
+// Flowserver have no estimates to audit.
+func TestDriftNilWithoutFlowserver(t *testing.T) {
+	cfg := smallConfig(SchemeNearestECMP)
+	cfg.NumJobs = 100
+	cfg.WarmupJobs = 10
+	res := mustRun(t, cfg)
+	if res.Drift != nil {
+		t.Errorf("Drift = %+v for a scheme with no Flowserver, want nil", *res.Drift)
+	}
+}
+
+// TestFigure4WorkloadDriftBound cross-validates the estimator on the
+// Figure 4 workload: the drift bounds documented in DESIGN.md §10 must
+// hold, or the paper's selection-quality results rest on a bandwidth
+// model that no longer tracks the fabric.
+func TestFigure4WorkloadDriftBound(t *testing.T) {
+	res := mustRun(t, smallConfig(SchemeMayflower))
+	if res.Drift == nil {
+		t.Fatal("no drift summary")
+	}
+	d := *res.Drift
+	if d.Samples < 100 {
+		t.Fatalf("only %d drift samples; workload too small to validate the bound", d.Samples)
+	}
+	if d.MeanRelErr >= fig4DriftMeanBound {
+		t.Errorf("mean relative drift %g >= documented bound %g", d.MeanRelErr, fig4DriftMeanBound)
+	}
+	if d.P95RelErr >= fig4DriftP95Bound {
+		t.Errorf("p95 relative drift %g >= documented bound %g", d.P95RelErr, fig4DriftP95Bound)
+	}
+}
+
+// TestMetricsRegistryAndProgress checks the run's instrumentation
+// surface: a caller-supplied registry ends up holding the Flowserver's
+// counters, the fabric's counters, and the merged drift histogram, and
+// a Progress writer receives per-scheme lines.
+func TestMetricsRegistryAndProgress(t *testing.T) {
+	reg := obs.NewRegistry()
+	var progress bytes.Buffer
+	cfg := smallConfig(SchemeMayflower)
+	cfg.NumJobs = 250
+	cfg.WarmupJobs = 30
+	cfg.Metrics = reg
+	cfg.Progress = &progress
+	mustRun(t, cfg)
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"flowserver.selections",
+		"flowserver.polls",
+		"netsim.reallocs",
+		"experiment.jobs_completed",
+		"experiment.drift.mayflower.samples",
+	} {
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Errorf("counter %q missing from snapshot", name)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, v)
+		}
+	}
+	if _, ok := snap.Histograms["experiment.drift.mayflower.rel_err"]; !ok {
+		t.Error("drift histogram missing from snapshot")
+	}
+	out := progress.String()
+	if !strings.Contains(out, "Mayflower [netsim]: 250/250 jobs") {
+		t.Errorf("progress output missing final line:\n%s", out)
+	}
+}

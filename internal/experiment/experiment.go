@@ -8,13 +8,16 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"strings"
 
 	"github.com/mayflower-dfs/mayflower/internal/emunet"
 	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/netsim"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/selection"
 	"github.com/mayflower-dfs/mayflower/internal/stats"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
@@ -156,6 +159,16 @@ type Config struct {
 	BackgroundLoad float64
 	// Seed drives all randomness; equal seeds give identical traces.
 	Seed int64
+	// Metrics, when set, receives the run's instrumentation: flowserver
+	// counters, fabric reallocation counters, job progress, and the
+	// accumulated drift histograms under "experiment.drift.<scheme>".
+	// Instrumentation runs either way (atomic-only, off the result path);
+	// a nil registry just keeps it private to the run.
+	Metrics *obs.Registry
+	// Progress, when set, receives a coarse per-scheme progress line as
+	// jobs complete (intended for stderr on long sweeps). Nothing is
+	// written when nil, keeping figure tables on stdout byte-identical.
+	Progress io.Writer
 }
 
 // Defaults returns the paper's default parameters for a scheme: the §6.1
@@ -212,6 +225,11 @@ type Result struct {
 	LocalJobs int
 	// Summary aggregates CompletionTimes.
 	Summary stats.Summary
+	// Drift is the flow-model drift audit for schemes that ran a
+	// Flowserver: every stats-poll tick compared each live flow's
+	// bandwidth estimate against the fabric's ground-truth rate. Nil for
+	// schemes without a Flowserver.
+	Drift *obs.DriftSummary
 }
 
 // Run executes one experiment — the whole trace on the configured
@@ -256,14 +274,31 @@ func Run(cfg Config) (*Result, error) {
 		fab = emunet.NewFabric(emunet.NewWithClock(topo, fabric.NewScaledClock(cfg.EmuSpeedup)))
 	}
 
-	r := &runner{
-		cfg:  cfg,
-		topo: topo,
-		fab:  fab,
-		rng:  rng,
-		cat:  cat,
-		res:  &Result{Config: cfg},
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	// Both backends expose their reallocation counters; the interface
+	// assertion keeps fabric.Backend itself observability-free.
+	if am, ok := fab.(interface{ AttachMetrics(*obs.Registry) }); ok {
+		am.AttachMetrics(reg)
+	}
+
+	r := &runner{
+		cfg:   cfg,
+		topo:  topo,
+		fab:   fab,
+		rng:   rng,
+		cat:   cat,
+		reg:   reg,
+		audit: obs.NewDriftAuditor(),
+		res:   &Result{Config: cfg},
+	}
+	r.jobsStarted = reg.Counter("experiment.jobs_started")
+	r.jobsCompleted = reg.Counter("experiment.jobs_completed")
+	r.jobsSkipped = reg.Counter("experiment.jobs_skipped")
+	r.jobsLocal = reg.Counter("experiment.jobs_local")
+	r.jobsSplit = reg.Counter("experiment.jobs_split")
 	r.setupPolicies()
 	r.scheduleJobs(jobs)
 	if cfg.BackgroundLoad > 0 && len(jobs) > 0 {
@@ -278,7 +313,28 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("experiment: recorded %d of %d measured jobs", got, want)
 	}
 	r.res.Summary = stats.Summarize(r.res.CompletionTimes)
+	// Jobs that started but neither completed nor were skipped stalled in
+	// the fabric; with a healthy run this gauge reads zero.
+	reg.Gauge("experiment.jobs_stalled").Set(
+		r.jobsStarted.Value() - r.jobsCompleted.Value() - r.jobsSkipped.Value())
+	if r.fs != nil {
+		d := r.audit.Summary()
+		c := r.fs.Counters()
+		d.FreezeHits = c.FreezeHits
+		d.FreezeExpirations = c.FreezeExpirations
+		d.PollDropsDT = c.PollDropsDT
+		d.PollDropsRegress = c.PollDropsRegress
+		d.PollDropsSkew = c.PollDropsSkewFuture + c.PollDropsSkewPast
+		r.res.Drift = &d
+		r.audit.MergeInto(reg, "experiment.drift."+schemeSlug(cfg.Scheme))
+	}
 	return r.res, nil
+}
+
+// schemeSlug turns a scheme's display name into a metric-name segment
+// ("Sinbad-R Mayflower" → "sinbad-r-mayflower").
+func schemeSlug(s Scheme) string {
+	return strings.ReplaceAll(strings.ToLower(s.String()), " ", "-")
 }
 
 // runner carries the per-run state. All of its callbacks run as fabric
@@ -307,6 +363,17 @@ type runner struct {
 	// Mayflower flow bookkeeping: Flowserver id → fabric flow id.
 	tracked map[flowserver.FlowID]fabric.FlowID
 
+	// Observability: the run's registry, the per-run drift auditor, and
+	// the job-progress counters (registry-owned, atomic).
+	reg           *obs.Registry
+	audit         *obs.DriftAuditor
+	jobsStarted   *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsSkipped   *obs.Counter
+	jobsLocal     *obs.Counter
+	jobsSplit     *obs.Counter
+	completed     int // jobs finished, for the progress line
+
 	skipped int // failed selections (should stay zero)
 	polling bool
 }
@@ -324,6 +391,7 @@ func (r *runner) setupPolicies() {
 			DisableImpactTerm: cfg.DisableImpactTerm,
 			DisableFreeze:     cfg.DisableFreeze,
 			Now:               r.fab.Now,
+			Metrics:           r.reg,
 		})
 		r.tracked = make(map[flowserver.FlowID]fabric.FlowID)
 		r.polling = true
@@ -410,6 +478,17 @@ func (r *runner) pollTick() {
 	now := r.fab.Now()
 	if r.fs != nil {
 		r.fs.PollFrom(now, r)
+		// Drift audit: compare each live flow's post-poll estimate
+		// against the fabric's ground-truth fair-share rate. Read-only
+		// against both layers — no RNG, no model writes — so enabling it
+		// cannot perturb the run.
+		for fsID, fabID := range r.tracked {
+			est, ok := r.fs.EstimatedBW(fsID)
+			if !ok {
+				continue
+			}
+			r.audit.Record(est, r.fab.FlowRate(fabID))
+		}
 	}
 	if r.sinbad != nil {
 		dt := now - r.lastPoll
@@ -449,9 +528,13 @@ func (r *runner) FlowStats() []flowserver.FlowStat {
 func (r *runner) startJob(job workload.Job) {
 	file := &r.cat.Files[job.FileIndex]
 	measured := job.ID >= r.cfg.WarmupJobs
+	r.jobsStarted.Inc()
 	defer r.ensurePolling()
 
 	record := func(end float64) {
+		r.jobsCompleted.Inc()
+		r.completed++
+		r.reportProgress()
 		if measured {
 			r.res.CompletionTimes = append(r.res.CompletionTimes, end-job.Time)
 		}
@@ -530,8 +613,11 @@ func (r *runner) launchAssignments(job workload.Job, as []flowserver.Assignment,
 		r.localJob(record, measured)
 		return
 	}
-	if len(as) > 1 && measured {
-		r.res.SplitJobs++
+	if len(as) > 1 {
+		r.jobsSplit.Inc()
+		if measured {
+			r.res.SplitJobs++
+		}
 	}
 	pending := len(as)
 	ends := make([]float64, 0, len(as))
@@ -560,6 +646,7 @@ func (r *runner) launchAssignments(job workload.Job, as []flowserver.Assignment,
 // localJob records a read served from a co-located replica: no network
 // transfer, so it completes immediately.
 func (r *runner) localJob(record func(float64), measured bool) {
+	r.jobsLocal.Inc()
 	if measured {
 		r.res.LocalJobs++
 	}
@@ -567,7 +654,20 @@ func (r *runner) localJob(record func(float64), measured bool) {
 }
 
 func (r *runner) skip(measured bool) {
+	r.jobsSkipped.Inc()
 	if measured {
 		r.skipped++
+	}
+}
+
+// reportProgress emits the per-scheme progress line every 100 completed
+// jobs (and on the last one) when Config.Progress is set.
+func (r *runner) reportProgress() {
+	if r.cfg.Progress == nil {
+		return
+	}
+	if r.completed%100 == 0 || r.completed == r.cfg.NumJobs {
+		fmt.Fprintf(r.cfg.Progress, "%s [%s]: %d/%d jobs\n",
+			r.cfg.Scheme, r.cfg.Backend, r.completed, r.cfg.NumJobs)
 	}
 }

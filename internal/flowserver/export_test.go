@@ -58,11 +58,29 @@ func (s *Server) FlowRemainingEstimate(id FlowID) (float64, bool) {
 
 // CheckInvariants verifies the internal model's consistency: every link
 // index lists only live flows in strictly ascending id order, every live
-// flow appears on each of its links, and no estimate is negative. Tests
-// call it after random op sequences.
+// flow appears on each of its links, no estimate is negative, and the id
+// counter is ahead of every live flow. Tests call it after random op
+// sequences.
 func (s *Server) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.checkInvariantsLocked()
+}
+
+// InstallRestoreAudit runs the invariant checker immediately after every
+// snapshot rollback (the selectMulti reject path), panicking on a
+// violation since restore has no error return. It returns an uninstall
+// func for defer. The hook is package-global: don't use with t.Parallel.
+func InstallRestoreAudit() func() {
+	restoreHook = func(s *Server) {
+		if err := s.checkInvariantsLocked(); err != nil {
+			panic(fmt.Sprintf("flowserver: post-restore invariant violation: %v", err))
+		}
+	}
+	return func() { restoreHook = nil }
+}
+
+func (s *Server) checkInvariantsLocked() error {
 	for link, fs := range s.linkFlows {
 		for i, f := range fs {
 			if i > 0 && fs[i-1].id >= f.id {
@@ -89,6 +107,9 @@ func (s *Server) CheckInvariants() error {
 	for id, f := range s.flows {
 		if f.bw < 0 || f.remaining < 0 || f.totalBits < 0 {
 			return fmt.Errorf("flow %d has negative state: bw=%g rem=%g total=%g", id, f.bw, f.remaining, f.totalBits)
+		}
+		if id > s.nextID {
+			return fmt.Errorf("flow %d is ahead of the id counter %d", id, s.nextID)
 		}
 		for _, l := range f.links {
 			fs := s.linkFlows[l]

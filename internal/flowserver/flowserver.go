@@ -28,8 +28,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/maxmin"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
@@ -58,6 +60,97 @@ type Options struct {
 	// only advances via stats polls (simulation callers inject the
 	// simulator clock).
 	Now func() float64
+	// MaxPollSkew bounds how far a poll's caller-supplied timestamp may
+	// disagree with the model clock (Now) before the whole poll is
+	// rejected, in seconds. Freeze horizons are set from the model clock,
+	// so a poll stamped far in the model's future would expire every
+	// freeze early and one stamped in the past would never expire any;
+	// neither can be interpreted safely. 0 means DefaultMaxPollSkew;
+	// negative disables the check. Only consulted when Now is injected —
+	// without Now the poll timestamps *are* the clock.
+	MaxPollSkew float64
+	// Metrics optionally publishes the server's counters and latency
+	// histogram under "flowserver." names. Instrumentation is always on
+	// (atomic words only); the registry just makes it visible.
+	Metrics *obs.Registry
+}
+
+// DefaultMaxPollSkew is the poll-timestamp skew tolerance when
+// Options.MaxPollSkew is zero. Real deployments poll every ~1s with
+// microsecond-level clock agreement; 5 seconds rejects only polls that
+// are unambiguously from a different clock domain.
+const DefaultMaxPollSkew = 5.0
+
+// metrics holds the server's instrumentation. Counters are plain atomic
+// words touched directly on the hot path; the registry (when configured)
+// holds pointers to these same fields.
+type metrics struct {
+	selections          obs.Counter
+	candidates          obs.Counter
+	multiAccepts        obs.Counter
+	multiRejects        obs.Counter
+	freezeHits          obs.Counter
+	freezeExpirations   obs.Counter
+	polls               obs.Counter
+	pollSamples         obs.Counter
+	pollDropsDT         obs.Counter
+	pollDropsRegress    obs.Counter
+	pollDropsSkewFuture obs.Counter
+	pollDropsSkewPast   obs.Counter
+	selectSeconds       *obs.Histogram
+}
+
+// register publishes the metric fields into r under "flowserver." names.
+func (m *metrics) register(r *obs.Registry) {
+	r.RegisterCounter("flowserver.selections", &m.selections)
+	r.RegisterCounter("flowserver.candidates_evaluated", &m.candidates)
+	r.RegisterCounter("flowserver.multi_accepts", &m.multiAccepts)
+	r.RegisterCounter("flowserver.multi_rejects", &m.multiRejects)
+	r.RegisterCounter("flowserver.freeze_hits", &m.freezeHits)
+	r.RegisterCounter("flowserver.freeze_expirations", &m.freezeExpirations)
+	r.RegisterCounter("flowserver.polls", &m.polls)
+	r.RegisterCounter("flowserver.poll_samples", &m.pollSamples)
+	r.RegisterCounter("flowserver.poll_drops_dt", &m.pollDropsDT)
+	r.RegisterCounter("flowserver.poll_drops_regress", &m.pollDropsRegress)
+	r.RegisterCounter("flowserver.poll_drops_skew_future", &m.pollDropsSkewFuture)
+	r.RegisterCounter("flowserver.poll_drops_skew_past", &m.pollDropsSkewPast)
+	r.RegisterHistogram("flowserver.select_seconds", m.selectSeconds)
+}
+
+// StatsCounters is a cumulative snapshot of the server's poll and freeze
+// accounting, for drift-audit reports (which subtract a baseline taken at
+// run start).
+type StatsCounters struct {
+	Selections          int64
+	CandidatesEvaluated int64
+	MultiAccepts        int64
+	MultiRejects        int64
+	FreezeHits          int64
+	FreezeExpirations   int64
+	Polls               int64
+	PollSamples         int64
+	PollDropsDT         int64
+	PollDropsRegress    int64
+	PollDropsSkewFuture int64
+	PollDropsSkewPast   int64
+}
+
+// Counters returns the server's cumulative instrumentation counters.
+func (s *Server) Counters() StatsCounters {
+	return StatsCounters{
+		Selections:          s.met.selections.Value(),
+		CandidatesEvaluated: s.met.candidates.Value(),
+		MultiAccepts:        s.met.multiAccepts.Value(),
+		MultiRejects:        s.met.multiRejects.Value(),
+		FreezeHits:          s.met.freezeHits.Value(),
+		FreezeExpirations:   s.met.freezeExpirations.Value(),
+		Polls:               s.met.polls.Value(),
+		PollSamples:         s.met.pollSamples.Value(),
+		PollDropsDT:         s.met.pollDropsDT.Value(),
+		PollDropsRegress:    s.met.pollDropsRegress.Value(),
+		PollDropsSkewFuture: s.met.pollDropsSkewFuture.Value(),
+		PollDropsSkewPast:   s.met.pollDropsSkewPast.Value(),
+	}
 }
 
 // Request asks for a read assignment.
@@ -123,6 +216,8 @@ type Server struct {
 	// (bestPath swaps slots on every new best).
 	evalBufs [2][2]changeSet
 	evalIdx  int
+
+	met metrics
 }
 
 // changeSet records the existing flows whose bandwidth estimate changes if
@@ -139,13 +234,18 @@ func New(topo *topology.Topology, opts Options) *Server {
 	for _, l := range topo.Links() {
 		capacity[l.ID] = l.Capacity
 	}
-	return &Server{
+	s := &Server{
 		topo:      topo,
 		capacity:  capacity,
 		opts:      opts,
 		flows:     make(map[FlowID]*flowState),
 		linkFlows: make([][]*flowState, topo.NumLinks()),
 	}
+	s.met.selectSeconds = obs.NewHistogram(1e-6, 10)
+	if opts.Metrics != nil {
+		s.met.register(opts.Metrics)
+	}
+	return s
 }
 
 // insertFlow inserts f into an id-sorted flow slice. Ids are assigned in
@@ -197,9 +297,13 @@ func (s *Server) SelectReplicaAndPath(req Request) ([]Assignment, error) {
 	if req.Bits < 0 {
 		return nil, fmt.Errorf("flowserver: negative read size %g", req.Bits)
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.selectLocked(req, s.opts.MultiReplica)
+	as, err := s.selectLocked(req, s.opts.MultiReplica)
+	s.met.selections.Inc()
+	s.met.selectSeconds.Observe(time.Since(start).Seconds())
+	return as, err
 }
 
 // selectLocked runs selection with an explicit multi-replica setting.
@@ -238,9 +342,12 @@ func (s *Server) SelectPath(client, replica topology.NodeID, bits float64) (Assi
 	if bits < 0 {
 		return Assignment{}, fmt.Errorf("flowserver: negative read size %g", bits)
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	as, err := s.selectLocked(Request{Client: client, Replicas: []topology.NodeID{replica}, Bits: bits}, false)
+	s.met.selections.Inc()
+	s.met.selectSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return Assignment{}, err
 	}
@@ -268,12 +375,14 @@ type candidate struct {
 func (s *Server) bestPath(client topology.NodeID, replicas []topology.NodeID, bits float64, exclude map[topology.NodeID]bool) (candidate, bool) {
 	var best candidate
 	found := false
+	evaluated := int64(0)
 	for _, rep := range replicas {
 		if exclude[rep] || rep == client {
 			continue
 		}
 		for _, path := range s.topo.ShortestPaths(rep, client) {
 			c := s.evalPath(rep, path, bits)
+			evaluated++
 			if !found || c.cost < best.cost {
 				best = c
 				found = true
@@ -283,6 +392,7 @@ func (s *Server) bestPath(client topology.NodeID, replicas []topology.NodeID, bi
 			}
 		}
 	}
+	s.met.candidates.Add(evaluated)
 	return best, found
 }
 
@@ -470,8 +580,10 @@ func (s *Server) selectMulti(req Request, best candidate) []Assignment {
 		s.restore(snap)
 		c := s.evalPath(best.replica, best.path, req.Bits)
 		a1 = s.commit(c, req.Bits)
+		s.met.multiRejects.Inc()
 		return []Assignment{a1}
 	}
+	s.met.multiAccepts.Inc()
 
 	// Split sizes proportionally to bandwidth so subflows finish together.
 	s1 := req.Bits * b1p / combined
@@ -530,7 +642,15 @@ func (s *Server) restore(snap modelSnapshot) {
 		*f = state
 	}
 	s.nextID = snap.nextID
+	if restoreHook != nil {
+		restoreHook(s)
+	}
 }
+
+// restoreHook, when non-nil, runs immediately after every rollback with
+// s.mu held. Tests install an invariant checker here to pin the
+// snapshot/restore path; it is nil in production.
+var restoreHook func(*Server)
 
 // EstimateIngressShare estimates the max-min bandwidth share a new flow
 // *into* the given host would receive across the edge tier: the bottleneck
@@ -606,11 +726,45 @@ type FlowStat struct {
 // size are derived from the byte counter. Bandwidth estimates honour the
 // update-freeze state (Pseudocode 2, UPDATEBW); remaining sizes always
 // update, since counters are ground truth for progress.
+//
+// Clock domains: freeze horizons (setBW) are stamped from the model clock
+// — opts.Now when injected, else s.clock, which only poll timestamps
+// advance. All freeze comparisons here use that same model clock. When
+// Now is injected, a poll whose caller-supplied timestamp disagrees with
+// the model clock by more than MaxPollSkew is rejected whole (counted by
+// skew direction): its dt and freeze decisions would be computed against
+// horizons from a different clock. When Now is nil, a poll stamped before
+// the clock's high-water mark is a replay of the past and is rejected the
+// same way.
 func (s *Server) UpdateFlowStats(now float64, stats []FlowStat) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.opts.Now == nil && now > s.clock {
+	s.met.polls.Inc()
+	if s.opts.Now == nil {
+		if now < s.clock {
+			s.met.pollDropsSkewPast.Inc()
+			return
+		}
 		s.clock = now
+	} else {
+		model := s.opts.Now()
+		tol := s.opts.MaxPollSkew
+		if tol == 0 {
+			tol = DefaultMaxPollSkew
+		}
+		if tol >= 0 {
+			if now > model+tol {
+				s.met.pollDropsSkewFuture.Inc()
+				return
+			}
+			if now < model-tol {
+				s.met.pollDropsSkewPast.Inc()
+				return
+			}
+		}
+		// Within tolerance: re-stamp the poll onto the model clock so dt
+		// and freeze-expiry checks share one time base.
+		now = model
 	}
 	for _, st := range stats {
 		f, ok := s.flows[st.ID]
@@ -623,9 +777,15 @@ func (s *Server) UpdateFlowStats(now float64, stats []FlowStat) {
 		// remaining size and counter backward. Drop it before touching
 		// any state.
 		dt := now - f.lastPoll
-		if dt <= 0 || st.TransferredBits < f.transferred {
+		if dt <= 0 {
+			s.met.pollDropsDT.Inc()
 			continue
 		}
+		if st.TransferredBits < f.transferred {
+			s.met.pollDropsRegress.Inc()
+			continue
+		}
+		s.met.pollSamples.Inc()
 		f.remaining = f.totalBits - st.TransferredBits
 		if f.remaining < 0 {
 			f.remaining = 0
@@ -637,8 +797,13 @@ func (s *Server) UpdateFlowStats(now float64, stats []FlowStat) {
 		// completion, so a poll landing exactly at the horizon already
 		// sees it expired.
 		if s.opts.DisableFreeze || !f.frozen || now >= f.freezeUntil {
+			if f.frozen && now >= f.freezeUntil {
+				s.met.freezeExpirations.Inc()
+			}
 			f.bw = measured
 			f.frozen = false
+		} else {
+			s.met.freezeHits.Inc()
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 // checks the model invariants plus basic estimate sanity after every
 // step.
 func TestRandomOperationSequences(t *testing.T) {
+	defer InstallRestoreAudit()()
 	topo, err := topology.New(topology.PaperTestbed(8))
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +138,7 @@ func TestEstimateBoundsUnderLoad(t *testing.T) {
 // splits, the subflow sizes are positive and sum to the request, and the
 // split is accepted only with distinct replicas.
 func TestMultiReplicaSplitConservation(t *testing.T) {
+	defer InstallRestoreAudit()()
 	topo, err := topology.New(topology.PaperTestbed(8))
 	if err != nil {
 		t.Fatal(err)

@@ -37,6 +37,7 @@ import (
 
 	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/maxmin"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 )
 
@@ -144,6 +145,31 @@ type Sim struct {
 	doneScratch []*simFlow
 	flowScratch []maxmin.Flow
 	alloc       maxmin.Alloc
+
+	met fabricMetrics
+}
+
+// fabricMetrics counts reallocation activity: how often rates were
+// recomputed, which allocator ran, and how large the recomputed
+// components were. All writers are atomic words, so the instrumentation
+// never perturbs event ordering or rates.
+type fabricMetrics struct {
+	reallocs       obs.Counter
+	globalFills    obs.Counter
+	componentFills obs.Counter
+	activeFlows    obs.Gauge
+	componentFlows *obs.Histogram
+}
+
+// AttachMetrics publishes the simulator's reallocation counters into r
+// under "netsim." names. Call before Run; the counters accumulate for
+// the lifetime of the Sim regardless.
+func (s *Sim) AttachMetrics(r *obs.Registry) {
+	r.RegisterCounter("netsim.reallocs", &s.met.reallocs)
+	r.RegisterCounter("netsim.global_fills", &s.met.globalFills)
+	r.RegisterCounter("netsim.component_fills", &s.met.componentFills)
+	r.RegisterGauge("netsim.active_flows", &s.met.activeFlows)
+	r.RegisterHistogram("netsim.component_flows", s.met.componentFlows)
 }
 
 // globalFillCutoff selects the allocation strategy. At or below this many
@@ -215,7 +241,7 @@ func New(topo *topology.Topology) *Sim {
 	for _, l := range topo.Links() {
 		capacity[l.ID] = l.Capacity
 	}
-	return &Sim{
+	sim := &Sim{
 		topo:      topo,
 		capacity:  capacity,
 		flows:     make(map[FlowID]*simFlow),
@@ -225,6 +251,8 @@ func New(topo *topology.Topology) *Sim {
 		rem:       make([]float64, topo.NumLinks()),
 		nOn:       make([]int, topo.NumLinks()),
 	}
+	sim.met.componentFlows = obs.NewHistogram(1, 1e6)
+	return sim
 }
 
 // Topology returns the topology the simulator runs over.
@@ -516,9 +544,13 @@ func (s *Sim) SetRateNotify(fn func()) { s.rateNotify = fn }
 func (s *Sim) reallocate() {
 	s.dirty = false
 	s.gen++
+	s.met.reallocs.Inc()
+	s.met.activeFlows.Set(int64(len(s.activeList)))
 	if len(s.activeList) <= globalFillCutoff {
+		s.met.globalFills.Inc()
 		s.reallocateGlobal()
 	} else {
+		s.met.componentFills.Inc()
 		s.reallocateComponent()
 	}
 	if s.rateNotify != nil {
@@ -635,6 +667,7 @@ func (s *Sim) reallocateComponent() {
 	}
 	s.compLinks = que
 	s.compFlows = comp
+	s.met.componentFlows.Observe(float64(len(comp)))
 
 	// Progressive filling over the component via link saturation levels:
 	// all unfrozen rates rise uniformly, and link l saturates when the

@@ -1,0 +1,99 @@
+package obs
+
+// The flow-model drift auditor quantifies the gap the paper's whole
+// scheduling argument depends on staying small (§4.2): the Flowserver
+// selects paths from *estimated* per-flow bandwidth shares, refreshed
+// only by periodic stats polls and pinned by update-freezes, while the
+// fabric knows every flow's exact fair-share rate. On every stats-poll
+// tick the driver feeds each live flow's (estimate, ground truth) pair
+// through Record; the auditor accumulates the relative-error histogram
+// whose mean and p95 the experiment reports publish.
+
+// driftLo / driftHi bound the relative-error histogram: errors below 2%
+// count as exact (underflow, reported 0), errors at or above 1000x land
+// in the overflow bucket. All drift auditors share this geometry so
+// their histograms merge.
+const (
+	driftLo = 0.02
+	driftHi = 1e3
+)
+
+// DriftAuditor accumulates flow-model drift samples. The zero value is
+// not usable; create with NewDriftAuditor. Safe for concurrent use.
+type DriftAuditor struct {
+	// RelErr is the histogram of |estimate − truth| / truth across all
+	// samples with positive, finite truth.
+	RelErr *Histogram
+	// Samples counts every Record call.
+	Samples Counter
+	// ZeroTruth counts samples whose ground-truth rate was zero or
+	// unavailable (flow finished between the poll and the audit); these
+	// carry no drift information and are excluded from RelErr.
+	ZeroTruth Counter
+}
+
+// NewDriftAuditor creates an empty auditor.
+func NewDriftAuditor() *DriftAuditor {
+	return &DriftAuditor{RelErr: NewHistogram(driftLo, driftHi)}
+}
+
+// Record compares one flow's bandwidth estimate against the fabric's
+// ground-truth rate (both in bits per second).
+func (a *DriftAuditor) Record(estimate, truth float64) {
+	a.Samples.Inc()
+	if !(truth > 0) || truth != truth || estimate != estimate {
+		a.ZeroTruth.Inc()
+		return
+	}
+	rel := (estimate - truth) / truth
+	if rel < 0 {
+		rel = -rel
+	}
+	a.RelErr.Observe(rel)
+}
+
+// MergeInto folds the auditor's accumulated state into a registry under
+// the given name prefix (e.g. "experiment.drift.mayflower"), creating
+// the destination metrics on first use. Per-run auditors stay isolated
+// while the process-wide registry accumulates across runs.
+func (a *DriftAuditor) MergeInto(r *Registry, prefix string) {
+	r.Histogram(prefix+".rel_err", driftLo, driftHi).Merge(a.RelErr)
+	r.Counter(prefix + ".samples").Add(a.Samples.Value())
+	r.Counter(prefix + ".zero_truth").Add(a.ZeroTruth.Value())
+}
+
+// DriftSummary condenses an audit for experiment results and docs.
+type DriftSummary struct {
+	// Samples is the number of (estimate, truth) comparisons; ZeroTruth
+	// of them had no usable ground truth.
+	Samples   int64 `json:"samples"`
+	ZeroTruth int64 `json:"zero_truth"`
+	// MeanRelErr is the exact mean relative error; the quantiles are
+	// bucket-resolution estimates. Relative errors under 2% report as 0.
+	MeanRelErr float64 `json:"mean_rel_err"`
+	P50RelErr  float64 `json:"p50_rel_err"`
+	P95RelErr  float64 `json:"p95_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
+	// Flowserver-side poll accounting over the audited run: how often
+	// update-freezes held an estimate against a poll, how often they
+	// expired, and why polls were dropped.
+	FreezeHits        int64 `json:"freeze_hits"`
+	FreezeExpirations int64 `json:"freeze_expirations"`
+	PollDropsDT       int64 `json:"poll_drops_dt"`
+	PollDropsRegress  int64 `json:"poll_drops_regress"`
+	PollDropsSkew     int64 `json:"poll_drops_skew"`
+}
+
+// Summary snapshots the drift histogram. The flowserver-side counters
+// are the caller's to fill in (they live in the Flowserver's metrics,
+// not the auditor).
+func (a *DriftAuditor) Summary() DriftSummary {
+	return DriftSummary{
+		Samples:    a.Samples.Value(),
+		ZeroTruth:  a.ZeroTruth.Value(),
+		MeanRelErr: a.RelErr.Mean(),
+		P50RelErr:  a.RelErr.Quantile(0.50),
+		P95RelErr:  a.RelErr.Quantile(0.95),
+		MaxRelErr:  a.RelErr.Max(),
+	}
+}

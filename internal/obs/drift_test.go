@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftAuditorExact(t *testing.T) {
+	a := NewDriftAuditor()
+	for i := 0; i < 50; i++ {
+		a.Record(100e6, 100e6) // estimate == truth
+	}
+	s := a.Summary()
+	if s.Samples != 50 || s.ZeroTruth != 0 {
+		t.Fatalf("samples=%d zero=%d, want 50/0", s.Samples, s.ZeroTruth)
+	}
+	if s.MeanRelErr != 0 || s.P95RelErr != 0 || s.MaxRelErr != 0 {
+		t.Fatalf("exact estimates must report zero drift: %+v", s)
+	}
+}
+
+func TestDriftAuditorStale(t *testing.T) {
+	a := NewDriftAuditor()
+	// Stale estimate: model thinks 100 Mb/s, fabric says 50 Mb/s → rel err 1.0.
+	a.Record(100e6, 50e6)
+	s := a.Summary()
+	if s.MeanRelErr != 1.0 {
+		t.Fatalf("mean rel err = %g, want 1.0", s.MeanRelErr)
+	}
+	// p95 is bucket-resolution around 1.0.
+	if s.P95RelErr < 0.7 || s.P95RelErr > 1.4 {
+		t.Fatalf("p95 rel err = %g, want ≈1.0", s.P95RelErr)
+	}
+	// Under-2% errors count as exact.
+	b := NewDriftAuditor()
+	b.Record(101e6, 100e6)
+	if got := b.Summary().P50RelErr; got != 0 {
+		t.Fatalf("1%% error p50 = %g, want 0 (under driftLo)", got)
+	}
+}
+
+func TestDriftAuditorZeroTruth(t *testing.T) {
+	a := NewDriftAuditor()
+	a.Record(100e6, 0)
+	a.Record(100e6, -1)
+	a.Record(math.NaN(), 100e6)
+	a.Record(100e6, math.NaN())
+	s := a.Summary()
+	if s.Samples != 4 || s.ZeroTruth != 4 {
+		t.Fatalf("samples=%d zero=%d, want 4/4", s.Samples, s.ZeroTruth)
+	}
+	if s.MeanRelErr != 0 {
+		t.Fatalf("zero-truth samples leaked into RelErr: %+v", s)
+	}
+}
+
+func TestDriftAuditorMergeInto(t *testing.T) {
+	reg := NewRegistry()
+	for run := 0; run < 2; run++ {
+		a := NewDriftAuditor()
+		a.Record(100e6, 50e6)
+		a.Record(100e6, 0)
+		a.MergeInto(reg, "experiment.drift.mayflower")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["experiment.drift.mayflower.samples"] != 4 {
+		t.Errorf("merged samples = %d, want 4", snap.Counters["experiment.drift.mayflower.samples"])
+	}
+	if snap.Counters["experiment.drift.mayflower.zero_truth"] != 2 {
+		t.Errorf("merged zero_truth = %d, want 2", snap.Counters["experiment.drift.mayflower.zero_truth"])
+	}
+	if h := snap.Histograms["experiment.drift.mayflower.rel_err"]; h.Count != 2 || h.Mean != 1.0 {
+		t.Errorf("merged rel_err = %+v, want count 2 mean 1.0", h)
+	}
+}

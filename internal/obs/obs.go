@@ -1,0 +1,240 @@
+// Package obs is Mayflower's control-plane observability core: atomic
+// counters, gauges, log-bucketed histograms, and a named registry with a
+// cheap JSON snapshot. The paper's co-design claims (§4.2) rest on the
+// Flowserver's model staying close to the fabric's ground truth between
+// stats polls; this package supplies the machinery that measures that —
+// the flow-model drift auditor (see drift.go) and the hot-seam metrics
+// the flowserver, client, experiment driver and both fabric backends
+// report through.
+//
+// Everything here is safe for concurrent use and deliberately cheap on
+// the writer side: counters and gauges are single atomic words, and a
+// histogram observation is one logarithm plus two atomic adds, so
+// instrumentation can sit directly on selection and reallocation hot
+// paths without perturbing benchmark results or fixed-seed experiment
+// tables. Nothing in this package depends on any other Mayflower
+// package.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n should be >= 0; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value. The zero value is ready to
+// use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (use for live up/down quantities).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat accumulates float64 values with CAS, so histogram sums are
+// exact under concurrency (modulo float association).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) max(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Value() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// bucketsPerDecade fixes the histogram resolution: 8 log-spaced buckets
+// per factor of ten, i.e. bucket edges grow by 10^(1/8) ≈ 1.33, giving
+// quantiles a worst-case relative error around ±15%.
+const bucketsPerDecade = 8
+
+// Histogram is a log-bucketed histogram of positive values (latencies in
+// seconds, relative-error ratios). Values below lo land in a dedicated
+// underflow bucket reported as 0 (an exact match, for ratios), values at
+// or above hi land in an overflow bucket reported as hi. Observation is
+// lock-free: one logarithm and two atomic adds.
+type Histogram struct {
+	lo, hi  float64
+	logLo   float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomicFloat
+	maxSeen atomicFloat
+}
+
+// NewHistogram creates a histogram covering [lo, hi) with 8 log-spaced
+// buckets per decade. Requires 0 < lo < hi.
+func NewHistogram(lo, hi float64) *Histogram {
+	if !(lo > 0) || !(hi > lo) {
+		panic("obs: NewHistogram requires 0 < lo < hi")
+	}
+	decades := math.Log10(hi / lo)
+	n := int(math.Ceil(decades*bucketsPerDecade)) + 2 // + underflow + overflow
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		logLo:   math.Log10(lo),
+		buckets: make([]atomic.Int64, n),
+	}
+}
+
+// Observe records one value. Non-positive and sub-lo values count in the
+// underflow bucket; NaN is ignored.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := 0
+	switch {
+	case v < h.lo:
+		// underflow (including v <= 0): bucket 0
+	case v >= h.hi || math.IsInf(v, 1):
+		idx = len(h.buckets) - 1
+	default:
+		idx = 1 + int((math.Log10(v)-h.logLo)*bucketsPerDecade)
+		if idx >= len(h.buckets)-1 {
+			idx = len(h.buckets) - 2
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	if !math.IsInf(v, 1) {
+		h.sum.Add(v)
+		h.maxSeen.max(v)
+	} else {
+		h.maxSeen.max(h.hi)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Value() / float64(n)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.maxSeen.Value() }
+
+// bucketValue returns the representative value reported for bucket i:
+// 0 for underflow, hi for overflow, else the geometric midpoint of the
+// bucket's bounds.
+func (h *Histogram) bucketValue(i int) float64 {
+	switch {
+	case i == 0:
+		return 0
+	case i >= len(h.buckets)-1:
+		return h.hi
+	default:
+		loEdge := h.lo * math.Pow(10, float64(i-1)/bucketsPerDecade)
+		hiEdge := h.lo * math.Pow(10, float64(i)/bucketsPerDecade)
+		return math.Sqrt(loEdge * hiEdge)
+	}
+}
+
+// Quantile returns an estimate of the p-quantile (0 <= p <= 1), accurate
+// to the bucket resolution. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return h.bucketValue(i)
+		}
+	}
+	return h.hi
+}
+
+// Merge adds every observation recorded in src into h. The histograms
+// must share the same geometry (created with equal lo and hi). The
+// experiment driver uses this to fold a per-run drift histogram into a
+// process-wide registry without sharing writer state across runs.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil {
+		return
+	}
+	if len(src.buckets) != len(h.buckets) || src.lo != h.lo || src.hi != h.hi {
+		panic("obs: Merge across histogram geometries")
+	}
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Value())
+	h.maxSeen.max(src.maxSeen.Value())
+}
+
+// HistogramSnapshot is the exported summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot summarizes the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

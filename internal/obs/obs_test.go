@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1e-3, 1e3)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Mean(); got != 1.0 {
+		t.Fatalf("mean = %g, want 1 (sum is exact)", got)
+	}
+	// Quantiles are bucket-resolution: within ±1 bucket width (~33%).
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		if q := h.Quantile(p); q < 0.7 || q > 1.4 {
+			t.Errorf("q%g = %g, want ≈1", p*100, q)
+		}
+	}
+	if got := h.Max(); got != 1.0 {
+		t.Fatalf("max = %g, want 1", got)
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(0.01, 10)
+	h.Observe(0)      // underflow
+	h.Observe(-5)     // underflow
+	h.Observe(0.0001) // underflow
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("all-underflow q99 = %g, want 0", got)
+	}
+	h2 := NewHistogram(0.01, 10)
+	h2.Observe(1e9)
+	h2.Observe(math.Inf(1))
+	if got := h2.Quantile(0.5); got != 10 {
+		t.Fatalf("overflow q50 = %g, want hi=10", got)
+	}
+	if got := h2.Max(); got != 1e9 {
+		t.Fatalf("max = %g, want 1e9", got)
+	}
+	h2.Observe(math.NaN()) // ignored
+	if got := h2.Count(); got != 2 {
+		t.Fatalf("count after NaN = %d, want 2", got)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram(1e-6, 1e6)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i)) // 1..1000
+	}
+	q50, q95, q99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(q50 <= q95 && q95 <= q99) {
+		t.Fatalf("quantiles not monotone: %g %g %g", q50, q95, q99)
+	}
+	// p50 of uniform 1..1000 is 500; log buckets are ±~15% accurate.
+	if q50 < 350 || q50 > 700 {
+		t.Errorf("q50 = %g, want ≈500", q50)
+	}
+	if q95 < 700 || q95 > 1300 {
+		t.Errorf("q95 = %g, want ≈950", q95)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0.01, 100)
+	b := NewHistogram(0.01, 100)
+	for i := 0; i < 10; i++ {
+		a.Observe(1)
+		b.Observe(4)
+	}
+	a.Merge(b)
+	if got := a.Count(); got != 20 {
+		t.Fatalf("merged count = %d, want 20", got)
+	}
+	if got := a.Mean(); got != 2.5 {
+		t.Fatalf("merged mean = %g, want 2.5", got)
+	}
+	if got := a.Max(); got != 4 {
+		t.Fatalf("merged max = %g, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("merge across geometries did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(0.1, 100))
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(3)
+	r.Counter("a.count").Inc() // same counter
+	r.Gauge("b.gauge").Set(-2)
+	r.RegisterGaugeFunc("c.func", func() float64 { return 1.5 })
+	r.Histogram("d.hist", 1e-3, 1e3).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap.Counters["a.count"] != 4 {
+		t.Errorf("counter = %d, want 4", snap.Counters["a.count"])
+	}
+	if snap.Gauges["b.gauge"] != -2 || snap.Gauges["c.func"] != 1.5 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	if snap.Histograms["d.hist"].Count != 1 {
+		t.Errorf("hist snapshot = %+v", snap.Histograms["d.hist"])
+	}
+
+	var buf jsonBuf
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.b, &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, buf.b)
+	}
+	if decoded.Counters["a.count"] != 4 {
+		t.Errorf("decoded counter = %d", decoded.Counters["a.count"])
+	}
+}
+
+type jsonBuf struct{ b []byte }
+
+func (j *jsonBuf) Write(p []byte) (int, error) { j.b = append(j.b, p...); return len(p), nil }
+
+func TestRegistryRegisterExisting(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(9)
+	r.RegisterCounter("owned", &c)
+	if got := r.Counter("owned"); got != &c {
+		t.Fatal("get-or-create did not return the registered counter")
+	}
+	h := NewHistogram(1, 10)
+	r.RegisterHistogram("owned.h", h)
+	if got := r.Histogram("owned.h", 1, 10); got != h {
+		t.Fatal("get-or-create did not return the registered histogram")
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	RegisterRuntimeMetrics(r)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Errorf("served counter = %d, want 1", snap.Counters["x"])
+	}
+	if snap.Gauges["go.goroutines"] <= 0 {
+		t.Errorf("runtime gauge missing: %v", snap.Gauges)
+	}
+}
+
+// TestConcurrentWriters exercises every writer path under the race
+// detector.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1e-3, 1e3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				h.Observe(float64(i%100) / 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}

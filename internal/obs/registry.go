@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookup is get-or-create, so
+// independent components wire themselves to shared names without
+// coordination; components that own their metric structs (for zero-cost
+// field access on hot paths) register the same pointers under names with
+// the Register* methods. All methods are safe for concurrent use; the
+// metric handles returned never change for a given name.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds if needed (bounds are ignored for an existing
+// histogram).
+func (r *Registry) Histogram(name string, lo, hi float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(lo, hi)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterCounter publishes an externally owned counter under name,
+// replacing any previous registration.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
+// RegisterGauge publishes an externally owned gauge under name.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = g
+}
+
+// RegisterGaugeFunc publishes a computed gauge: fn is evaluated at
+// snapshot time. fn must be safe to call from any goroutine and must not
+// call back into the registry.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// RegisterHistogram publishes an externally owned histogram under name.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
+// Snapshot is a point-in-time, JSON-marshalable view of every metric in
+// a registry. Map keys marshal in sorted order, so snapshots of the same
+// state are byte-identical.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. Gauge
+// funcs are evaluated outside the registry lock.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = float64(g.Value())
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs[name] = fn
+	}
+	r.mu.RUnlock()
+	for name, fn := range funcs {
+		snap.Gauges[name] = fn()
+	}
+	return snap
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an expvar-style HTTP handler serving the registry
+// snapshot as JSON; mount it at /debug/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Serve starts a background HTTP server on addr exposing the registry at
+// /debug/metrics. It returns the bound server (Close to stop) and the
+// resolved listen address.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return srv, ln.Addr().String(), nil
+}
+
+// RegisterRuntimeMetrics publishes Go runtime gauges (goroutines, heap
+// bytes, GC cycles) under the "go." prefix, evaluated at snapshot time.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.RegisterGaugeFunc("go.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.RegisterGaugeFunc("go.heap_alloc_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.RegisterGaugeFunc("go.total_alloc_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.TotalAlloc)
+	})
+	r.RegisterGaugeFunc("go.num_gc", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/stats"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/workload"
@@ -41,6 +42,11 @@ type ExperimentConfig struct {
 	MultiReplica bool
 	// Verify re-checks every read's payload length.
 	Verify bool
+	// Metrics, when non-nil, receives the run's cluster metrics and
+	// drift audit (see ClusterConfig.Metrics). Sharing one registry
+	// across runs accumulates drift histograms; plain server counters
+	// are re-registered per run and reflect the latest one.
+	Metrics *obs.Registry
 }
 
 // DefaultExperiment returns a scaled Figure 8 configuration for a mode.
@@ -88,6 +94,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		Topo:         cfg.Topo,
 		Seed:         cfg.Seed,
 		MultiReplica: cfg.MultiReplica,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

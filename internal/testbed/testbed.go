@@ -33,6 +33,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/hdfsbaseline"
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/sdn"
 	"github.com/mayflower-dfs/mayflower/internal/selection"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
@@ -121,6 +122,14 @@ type Cluster struct {
 	pollStop chan struct{}
 	pollDone chan struct{}
 
+	// Observability (nil unless ClusterConfig.Metrics was set). tracked
+	// mirrors the Flowserver's live assignments so the poll loop can
+	// audit estimate-vs-truth drift against the emulated fabric.
+	reg     *obs.Registry
+	audit   *obs.DriftAuditor
+	trackMu sync.Mutex
+	tracked map[flowserver.FlowID]struct{}
+
 	ecmp   *selection.ECMP
 	nextID atomic.Uint64
 
@@ -157,6 +166,13 @@ type ClusterConfig struct {
 	// times faster than the wall clock, with the fabric-time behaviour
 	// unchanged. <= 0 or unset means real time.
 	Speedup float64
+	// Metrics, when non-nil, receives the deployment's counters: the
+	// Flowserver's selection/poll metrics, the emulated fabric's
+	// reallocation metrics, and (merged in on Close, under
+	// "testbed.drift.*") a flow-model drift audit comparing the
+	// Flowserver's bandwidth estimates against the fabric's true fair
+	// shares on every stats poll.
+	Metrics *obs.Registry
 }
 
 // NewCluster boots a deployment and blocks until every component is
@@ -196,6 +212,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		pollStop:      make(chan struct{}),
 		pollDone:      make(chan struct{}),
 		workDir:       cfg.WorkDir,
+		reg:           cfg.Metrics,
+	}
+	if c.reg != nil {
+		net.AttachMetrics(c.reg)
+		c.audit = obs.NewDriftAuditor()
+		c.tracked = make(map[flowserver.FlowID]struct{})
 	}
 	if c.workDir == "" {
 		dir, err := os.MkdirTemp("", "mayflower-testbed-*")
@@ -267,15 +289,18 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 		c.fs = flowserver.New(c.Topo, flowserver.Options{
 			MultiReplica: cfg.MultiReplica && c.mode == ModeMayflower,
 			Now:          c.nowSeconds,
+			Metrics:      c.reg,
 		})
 		c.fsSrv = wire.NewServer()
 		hooks := flowserver.Hooks{
 			OnAssign: func(a flowserver.Assignment) {
 				_ = c.admit.RegisterFlow(uint64(a.FlowID), a.Path)
+				c.trackFlow(a.FlowID, true)
 				c.installRules(a)
 			},
 			OnFinish: func(id flowserver.FlowID) {
 				c.admit.UnregisterFlow(uint64(id))
+				c.trackFlow(id, false)
 			},
 		}
 		if err := flowserver.RegisterRPC(c.fsSrv, c.fs, c.Topo, hooks); err != nil {
@@ -360,6 +385,45 @@ func (c *Cluster) pollLoop(interval time.Duration) {
 		case <-ticker.C:
 		}
 		c.fs.PollFrom(c.nowSeconds(), c)
+		c.auditDrift()
+	}
+}
+
+// trackFlow records a live assignment for drift auditing (no-op when
+// metrics are off).
+func (c *Cluster) trackFlow(id flowserver.FlowID, live bool) {
+	if c.tracked == nil {
+		return
+	}
+	c.trackMu.Lock()
+	defer c.trackMu.Unlock()
+	if live {
+		c.tracked[id] = struct{}{}
+	} else {
+		delete(c.tracked, id)
+	}
+}
+
+// auditDrift compares the Flowserver's post-poll bandwidth estimate for
+// every live flow against the emulated fabric's true fair share. The
+// fabric flow id equals the Flowserver's (see the OnAssign hook).
+func (c *Cluster) auditDrift() {
+	if c.audit == nil {
+		return
+	}
+	c.trackMu.Lock()
+	ids := make([]flowserver.FlowID, 0, len(c.tracked))
+	for id := range c.tracked {
+		ids = append(ids, id)
+	}
+	c.trackMu.Unlock()
+	for _, id := range ids {
+		est, ok := c.fs.EstimatedBW(id)
+		if !ok {
+			continue
+		}
+		truth, _ := c.Net.FlowRate(uint64(id))
+		c.audit.Record(est, truth)
 	}
 }
 
@@ -548,6 +612,9 @@ func (c *Cluster) Close() error {
 	if c.fs != nil {
 		close(c.pollStop)
 		<-c.pollDone
+	}
+	if c.audit != nil {
+		c.audit.MergeInto(c.reg, "testbed.drift")
 	}
 	for _, cl := range clients {
 		cl.Close()
