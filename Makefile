@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz bench bench-check cover check clean
+.PHONY: all build vet fmt-check test race figures-smoke fuzz bench bench-check cover check clean
 
 all: build
 
@@ -18,10 +18,19 @@ test:
 	$(GO) test ./...
 
 # race runs the whole suite under the race detector — chaos scenarios and
-# the sim-vs-emu cross-validation included. This is the bar CI holds every
-# change to.
+# the sim-vs-emu cross-validation included — with shuffled test order so
+# inter-test state leaks surface. This is the bar CI holds every change to.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# figures-smoke runs the parallel figure-sweep determinism and golden
+# tests under the race detector at -j 8: a tiny grid, but it exercises
+# the worker pool, the shared shortest-path cache, the progress mux, and
+# the byte-identical-tables invariant end to end.
+figures-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestSweep|TestGolden|TestRunParallelFlagsMatchSequential' \
+		./internal/experiment ./cmd/mayflower-sim
 
 # cover runs the suite with coverage (-short: the timing-sensitive paced
 # emulation tests distort under instrumentation and are covered by the race
@@ -41,8 +50,8 @@ fuzz:
 # in BENCH_selection.json, the committed performance baseline for the
 # incremental allocator.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment \
 		| $(GO) run ./cmd/bench2json > BENCH_selection.json
 	@cat BENCH_selection.json
 
@@ -53,8 +62,8 @@ bench:
 # warm-up allocations tip the allocs/op average. CI's bench-smoke job
 # runs this.
 bench-check:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment \
 		| $(GO) run ./cmd/bench2json -compare BENCH_selection.json -max-regress 0.20
 
 check: build vet fmt-check race

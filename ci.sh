@@ -28,4 +28,4 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo '--- go test -race'
-go test -race ./...
+go test -race -shuffle=on ./...

@@ -8,6 +8,7 @@
 //	mayflower-sim -fig 6a           # Figure 6(a) (λ sweep, rack-heavy)
 //	mayflower-sim -fig 6b           # Figure 6(b) (λ sweep, core-heavy)
 //	mayflower-sim -fig 7            # Figure 7 (oversubscription)
+//	mayflower-sim -fig 8            # Figure 8 (HDFS integration)
 //	mayflower-sim -fig multiread    # §4.3 multi-replica reads
 //	mayflower-sim -fig background   # robustness to unscheduled cross traffic
 //	mayflower-sim -fig ablate-cost  # DESIGN.md ablation: Eq. 2 impact term
@@ -16,6 +17,10 @@
 //	mayflower-sim -fig all          # everything above
 //
 // Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi.
+// Parallelism: -j bounds how many sweep cells run concurrently (0 =
+// GOMAXPROCS); -trials repeats every figure cell on derived seeds and
+// reports Student-t confidence intervals over the trial means. Tables
+// are byte-identical for every -j value.
 // Backend: -backend netsim (default, virtual time) or -backend emunet
 // (real paced bytes in wall time; shrink -jobs and raise -emu-speedup,
 // or a run takes as long as the workload it emulates).
@@ -47,7 +52,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mayflower-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
+		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, 8, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
 		jobs       = fs.Int("jobs", 1200, "number of read jobs per run")
 		warmup     = fs.Int("warmup", 100, "jobs excluded from statistics")
 		files      = fs.Int("files", 300, "catalog size")
@@ -55,6 +60,8 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Int64("seed", 1, "workload seed")
 		oversub    = fs.Float64("oversub", 8, "core-to-rack oversubscription ratio")
 		multi      = fs.Bool("multi", false, "enable §4.3 multi-replica reads for the Mayflower scheme")
+		workers    = fs.Int("j", 0, "max sweep cells run concurrently (0 = GOMAXPROCS); does not change results")
+		trials     = fs.Int("trials", 1, "trials per figure cell on derived seeds (CIs over trial means)")
 		backend    = fs.String("backend", "netsim", "network backend: netsim (virtual time) or emunet (emulated bytes, wall time)")
 		speedup    = fs.Float64("emu-speedup", 1, "emunet only: compress the emulation clock by this factor")
 		asCSV      = fs.Bool("csv", false, "emit figures 4/5/6a/6b/7 as CSV instead of tables")
@@ -109,6 +116,8 @@ func run(args []string, out io.Writer) error {
 	base.Seed = *seed
 	base.Oversubscription = *oversub
 	base.MultiReplica = *multi
+	base.Workers = *workers
+	base.Trials = *trials
 	if *progress {
 		base.Progress = os.Stderr
 	}
@@ -129,7 +138,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"4", "5", "6a", "6b", "7", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {
+		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {
 			if err := runOne(out, name, base, *asCSV); err != nil {
 				return err
 			}
@@ -203,6 +212,16 @@ func runOne(out io.Writer, name string, base experiment.Config, asCSV bool) erro
 		}
 		fmt.Fprintln(out, "=== Figure 7: oversubscription impact ===")
 		return experiment.WriteSweep(out, sw, "oversub")
+	case "8":
+		tbl, err := experiment.Figure8(base)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteNormalizedCSV(out, tbl)
+		}
+		fmt.Fprintln(out, "=== Figure 8: HDFS with and without Mayflower's network scheduler ===")
+		return experiment.WriteNormalizedTable(out, tbl)
 	case "multiread":
 		fmt.Fprintln(out, "=== §4.3: reading from multiple replicas ===")
 		mr, err := experiment.MultiRead(base)

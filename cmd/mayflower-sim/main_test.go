@@ -25,7 +25,7 @@ func TestRunFigure4(t *testing.T) {
 }
 
 func TestRunEveryFigure(t *testing.T) {
-	figures := []string{"5", "7", "multiread", "ablate-cost", "ablate-freeze", "ablate-poll"}
+	figures := []string{"5", "7", "8", "multiread", "ablate-cost", "ablate-freeze", "ablate-poll"}
 	for _, fig := range figures {
 		fig := fig
 		t.Run(fig, func(t *testing.T) {
@@ -54,6 +54,26 @@ func TestRunLambdaSweepFigures(t *testing.T) {
 				t.Error("sweep output missing x-axis label")
 			}
 		})
+	}
+}
+
+// TestRunParallelFlagsMatchSequential checks the CLI contract for -j
+// and -trials: the rendered table is byte-identical across worker
+// counts, including with multiple trials.
+func TestRunParallelFlagsMatchSequential(t *testing.T) {
+	render := func(j string) string {
+		var sb strings.Builder
+		args := []string{"-jobs", "120", "-warmup", "20", "-files", "60",
+			"-fig", "4", "-trials", "2", "-j", j}
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	seq := render("1")
+	par := render("8")
+	if seq != par {
+		t.Errorf("-j 1 and -j 8 tables differ:\n--- j=1\n%s--- j=8\n%s", seq, par)
 	}
 }
 

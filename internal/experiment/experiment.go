@@ -159,6 +159,18 @@ type Config struct {
 	BackgroundLoad float64
 	// Seed drives all randomness; equal seeds give identical traces.
 	Seed int64
+	// Trials repeats every figure cell this many times on independently
+	// derived seeds (trial 0 keeps Seed, trial k mixes k in via
+	// testutil.DeriveSeed) and merges each cell group's statistics with
+	// Student-t confidence intervals over the trial means. 0 or 1 means
+	// a single trial, reproducing the historical single-run tables.
+	// Run ignores Trials — it is a sweep-level knob consumed by the
+	// figure builders.
+	Trials int
+	// Workers bounds how many sweep cells the figure builders execute
+	// concurrently; 0 means GOMAXPROCS. Results and rendered tables are
+	// byte-identical for every Workers value (see Sweep).
+	Workers int
 	// Metrics, when set, receives the run's instrumentation: flowserver
 	// counters, fabric reallocation counters, job progress, and the
 	// accumulated drift histograms under "experiment.drift.<scheme>".
@@ -204,6 +216,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: WarmupJobs %d out of range for %d jobs", c.WarmupJobs, c.NumJobs)
 	case c.StatsInterval <= 0:
 		return fmt.Errorf("experiment: StatsInterval must be > 0, got %g", c.StatsInterval)
+	case c.Trials < 0:
+		return fmt.Errorf("experiment: Trials must be >= 0, got %d", c.Trials)
+	case c.Workers < 0:
+		return fmt.Errorf("experiment: Workers must be >= 0, got %d", c.Workers)
 	}
 	return nil
 }

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/experiment/ -run TestGolden -update
+//
+// Inspect the diff before committing — a golden change means the figure
+// pipeline's output changed for a pinned seed.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is the pinned configuration every golden table is
+// generated from. Changing anything here invalidates the goldens.
+func goldenConfig() Config {
+	cfg := Defaults(SchemeMayflower)
+	cfg.NumJobs = 150
+	cfg.WarmupJobs = 20
+	cfg.NumFiles = 80
+	cfg.Seed = 1
+	return cfg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- want\n%s--- got\n%s\n(rerun with -update if the change is intended)",
+			name, want, got)
+	}
+}
+
+// TestGoldenFigure4 pins the Figure 4 normalized table — text and CSV —
+// for the golden seed. The parallel sweep runner must keep reproducing
+// these bytes regardless of worker count.
+func TestGoldenFigure4(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	tbl, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, csv bytes.Buffer
+	if err := WriteNormalizedTable(&txt, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNormalizedCSV(&csv, tbl); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure4.golden", txt.Bytes())
+	checkGolden(t, "figure4.csv.golden", csv.Bytes())
+}
+
+// TestGoldenFigure6b pins a reduced Figure 6(b) λ-series.
+func TestGoldenFigure6b(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	sw, err := lambdaSweep(cfg, "figure 6(b) reduced: mean completion vs λ", []float64{0.06, 0.09})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, csv bytes.Buffer
+	if err := WriteSweep(&txt, sw, "lambda"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepCSV(&csv, sw, "lambda"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure6b.golden", txt.Bytes())
+	checkGolden(t, "figure6b.csv.golden", csv.Bytes())
+}
+
+// TestGoldenFigure7 pins the Figure 7 oversubscription series.
+func TestGoldenFigure7(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	sw, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, csv bytes.Buffer
+	if err := WriteSweep(&txt, sw, "oversub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepCSV(&csv, sw, "oversub"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure7.golden", txt.Bytes())
+	checkGolden(t, "figure7.csv.golden", csv.Bytes())
+}
+
+// TestGoldenTrials pins a two-trial table so the trial-merge path
+// (Student-t over per-trial paired ratios) is golden-covered too.
+func TestGoldenTrials(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.NumJobs = 100
+	cfg.Trials = 2
+	cfg.Workers = 4
+	tbl, err := normalizedComparison(cfg, []Scheme{SchemeMayflower, SchemeNearestECMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := WriteNormalizedTable(&txt, tbl); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trials.golden", txt.Bytes())
+}

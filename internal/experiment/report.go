@@ -29,7 +29,7 @@ func WriteNormalizedTable(w io.Writer, tbl *NormalizedTable) error {
 
 // WriteSweep renders a Figure 6/7-style series table: one row per
 // (x, scheme) point with mean, its confidence interval, and p95.
-func WriteSweep(w io.Writer, sw *Sweep, xLabel string) error {
+func WriteSweep(w io.Writer, sw *Series, xLabel string) error {
 	if _, err := fmt.Fprintf(w, "%s (locality %v)\n", sw.Label, sw.Locality); err != nil {
 		return err
 	}
@@ -76,7 +76,7 @@ func WriteNormalizedCSV(w io.Writer, tbl *NormalizedTable) error {
 }
 
 // WriteSweepCSV emits a Figure 6/7-style series as CSV rows.
-func WriteSweepCSV(w io.Writer, sw *Sweep, xLabel string) error {
+func WriteSweepCSV(w io.Writer, sw *Series, xLabel string) error {
 	cw := csv.NewWriter(w)
 	header := []string{xLabel, "scheme", "mean_s", "mean_ci_lo", "mean_ci_hi", "p95_s"}
 	if err := cw.Write(header); err != nil {

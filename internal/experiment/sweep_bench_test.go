@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkSweepFigure6b measures one reduced Figure 6(b) grid (2
+// λ-points × 5 schemes) through the parallel sweep runner at
+// GOMAXPROCS workers. Tracked by bench-check; compare against
+// BenchmarkSweepFigure6bSerial to see the parallel speedup on a given
+// machine.
+func BenchmarkSweepFigure6b(b *testing.B) {
+	benchmarkSweepFigure6b(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkSweepFigure6bSerial is the same grid at one worker — the
+// baseline the parallel variant's speedup is measured against.
+func BenchmarkSweepFigure6bSerial(b *testing.B) {
+	benchmarkSweepFigure6b(b, 1)
+}
+
+func benchmarkSweepFigure6b(b *testing.B, workers int) {
+	base := Defaults(SchemeMayflower)
+	base.NumJobs = 120
+	base.WarmupJobs = 20
+	base.NumFiles = 60
+	base.Workers = workers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := NewSweep(base)
+		for _, lambda := range []float64{0.06, 0.09} {
+			for _, s := range AllSchemes {
+				cfg := base
+				cfg.Lambda = lambda
+				cfg.Scheme = s
+				sw.AddPoint("fig6b-bench", lambda, cfg)
+			}
+		}
+		if _, err := sw.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

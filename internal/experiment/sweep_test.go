@@ -1,0 +1,365 @@
+package experiment
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/obs"
+)
+
+// tinyConfig is the reduced cell grid the sweep tests run: small enough
+// that a full Figure 6(b) enumeration stays in CI budget, large enough
+// that flows overlap and schemes diverge.
+func tinyConfig() Config {
+	cfg := Defaults(SchemeMayflower)
+	cfg.NumJobs = 120
+	cfg.WarmupJobs = 20
+	cfg.NumFiles = 60
+	return cfg
+}
+
+// runFigure6bReduced renders the reduced-grid Figure 6(b) table and
+// returns the per-cell results alongside the rendered bytes.
+func runFigure6bReduced(t *testing.T, workers int) (string, [][]float64) {
+	t.Helper()
+	base := tinyConfig()
+	base.Workers = workers
+	base.Trials = 2
+
+	sw := NewSweep(base)
+	for _, lambda := range []float64{0.06, 0.09} {
+		for _, s := range AllSchemes {
+			cfg := base
+			cfg.Lambda = lambda
+			cfg.Scheme = s
+			sw.AddPoint("fig6b-reduced", lambda, cfg)
+		}
+	}
+	results, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([][]float64, len(results))
+	for i, res := range results {
+		times[i] = res.CompletionTimes
+	}
+
+	// Render through the same assembly the figure builders use.
+	series, err := assembleSeries(sw, "fig6b-reduced", base.Locality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSweep(&sb, series, "lambda"); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), times
+}
+
+// TestSweepParallelMatchesSequential is the determinism regression test
+// for the parallel sweep runner: a reduced Figure 6(b) grid (2 λ-points
+// × 5 schemes × 2 trials) must produce byte-identical rendered tables
+// and identical per-cell Result.CompletionTimes at -j 1 and -j 8. CI
+// runs this under -race (make figures-smoke), which also exercises the
+// shared shortest-path cache from 8 concurrent cells.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	seqTable, seqTimes := runFigure6bReduced(t, 1)
+	parTable, parTimes := runFigure6bReduced(t, 8)
+
+	if seqTable != parTable {
+		t.Errorf("rendered tables differ between -j 1 and -j 8:\n--- j=1\n%s--- j=8\n%s", seqTable, parTable)
+	}
+	if len(seqTimes) != len(parTimes) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seqTimes), len(parTimes))
+	}
+	for i := range seqTimes {
+		if len(seqTimes[i]) != len(parTimes[i]) {
+			t.Fatalf("cell %d: job counts differ: %d vs %d", i, len(seqTimes[i]), len(parTimes[i]))
+		}
+		for j := range seqTimes[i] {
+			if seqTimes[i][j] != parTimes[i][j] {
+				t.Fatalf("cell %d job %d: completion %g (j=1) vs %g (j=8)",
+					i, j, seqTimes[i][j], parTimes[i][j])
+			}
+		}
+	}
+}
+
+// TestSweepSingleTrialMatchesRun pins the backward-compatibility
+// contract: a single-trial sweep cell produces exactly the result of
+// calling the single-cell primitive Run with the same config — same
+// seed, same completion times — so the parallel figure tables stay
+// byte-identical to the historical sequential ones.
+func TestSweepSingleTrialMatchesRun(t *testing.T) {
+	cfg := tinyConfig()
+	direct := mustRun(t, cfg)
+
+	sw := NewSweep(cfg)
+	sw.AddPoint("compat", 0, cfg)
+	results, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	got := results[0]
+	if got.Config.Seed != cfg.Seed {
+		t.Errorf("trial 0 seed = %d, want base seed %d", got.Config.Seed, cfg.Seed)
+	}
+	if len(got.CompletionTimes) != len(direct.CompletionTimes) {
+		t.Fatalf("job counts differ: %d vs %d", len(got.CompletionTimes), len(direct.CompletionTimes))
+	}
+	for i := range got.CompletionTimes {
+		if got.CompletionTimes[i] != direct.CompletionTimes[i] {
+			t.Fatalf("job %d differs: %g vs %g", i, got.CompletionTimes[i], direct.CompletionTimes[i])
+		}
+	}
+}
+
+// TestSweepTrialSeeds checks the seed-derivation rule: trial 0 keeps the
+// base seed, later trials get distinct derived seeds, and every scheme
+// of a figure point shares its trial's seed (paired comparisons).
+func TestSweepTrialSeeds(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Trials = 3
+	sw := NewSweep(cfg)
+	for _, s := range AllSchemes {
+		c := cfg
+		c.Scheme = s
+		sw.AddPoint("seeds", 0, c)
+	}
+	cells := sw.Cells()
+	if len(cells) != len(AllSchemes)*3 {
+		t.Fatalf("enumerated %d cells, want %d", len(cells), len(AllSchemes)*3)
+	}
+	seedsByTrial := make(map[int]int64)
+	for _, c := range cells {
+		if prev, ok := seedsByTrial[c.Trial]; ok {
+			if c.Config.Seed != prev {
+				t.Errorf("trial %d: scheme %v seed %d != %d (schemes must share the trial seed)",
+					c.Trial, c.Scheme, c.Config.Seed, prev)
+			}
+			continue
+		}
+		seedsByTrial[c.Trial] = c.Config.Seed
+	}
+	if seedsByTrial[0] != cfg.Seed {
+		t.Errorf("trial 0 seed = %d, want base %d", seedsByTrial[0], cfg.Seed)
+	}
+	if seedsByTrial[1] == seedsByTrial[0] || seedsByTrial[2] == seedsByTrial[0] || seedsByTrial[1] == seedsByTrial[2] {
+		t.Errorf("trial seeds not distinct: %v", seedsByTrial)
+	}
+	// Cell indices must be dense and in enumeration order.
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+	}
+}
+
+// TestSweepTrialsNarrowCI sanity-checks the trial merge: with several
+// trials a series point reports the grand mean with a finite Student-t
+// interval around it.
+func TestSweepTrialsNarrowCI(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumJobs = 80
+	cfg.WarmupJobs = 10
+	cfg.Trials = 3
+	sw := NewSweep(cfg)
+	sw.AddPoint("trials", 1, cfg)
+	groups, err := sw.RunGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].Results) != 3 {
+		t.Fatalf("grouping wrong: %d groups", len(groups))
+	}
+	p := seriesPoint(groups[0])
+	if p.Mean <= 0 {
+		t.Fatalf("merged mean %g", p.Mean)
+	}
+	if !(p.MeanCI.Lo <= p.Mean && p.Mean <= p.MeanCI.Hi) {
+		t.Errorf("mean %g outside its CI [%g, %g]", p.Mean, p.MeanCI.Lo, p.MeanCI.Hi)
+	}
+	if p.MeanCI.Lo == p.MeanCI.Hi {
+		t.Errorf("trial CI degenerate: [%g, %g]", p.MeanCI.Lo, p.MeanCI.Hi)
+	}
+	// The per-trial workloads differ, so the trial means should too.
+	m := groups[0].Results
+	if m[0].Summary.Mean == m[1].Summary.Mean && m[1].Summary.Mean == m[2].Summary.Mean {
+		t.Error("all trial means identical; trial seeds did not vary the workload")
+	}
+}
+
+// TestSweepSharedTopology verifies parallel cells at the same
+// oversubscription share one topology instance (and its shortest-path
+// cache) while cells at different ratios get their own.
+func TestSweepSharedTopology(t *testing.T) {
+	cfg := tinyConfig()
+	sw := NewSweep(cfg)
+	for _, over := range []float64{8, 8, 16} {
+		c := cfg
+		c.Oversubscription = over
+		sw.AddPoint("topo", over, c)
+	}
+	cells := sw.Cells()
+	if err := shareTopologies(cells); err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Config.Topo == nil || cells[0].Config.Topo != cells[1].Config.Topo {
+		t.Error("cells at the same oversubscription should share a topology")
+	}
+	if cells[2].Config.Topo == cells[0].Config.Topo {
+		t.Error("cells at different oversubscription must not share a topology")
+	}
+}
+
+// TestSweepProgressAggregated runs a parallel sweep with a progress
+// writer and checks the funneled output: every line is complete, carries
+// its cell's prefix, and no two cells' lines interleave mid-line.
+func TestSweepProgressAggregated(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	cfg.NumJobs = 150 // multiple of the 100-job progress stride
+	cfg.WarmupJobs = 20
+	cfg.Workers = 4
+	cfg.Progress = &buf
+
+	sw := NewSweep(cfg)
+	for _, s := range AllSchemes[:3] {
+		c := cfg
+		c.Scheme = s
+		sw.AddPoint("prog", 0, c)
+	}
+	if _, err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if out == "" {
+		t.Fatal("no progress output")
+	}
+	lineRE := regexp.MustCompile(`^\[prog/x=0/[a-z0-9-]+/t0\] .+ \[netsim\]: \d+/\d+ jobs$`)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !lineRE.MatchString(line) {
+			t.Errorf("malformed progress line %q", line)
+		}
+	}
+	for _, s := range AllSchemes[:3] {
+		want := "[prog/x=0/" + schemeSlug(s) + "/t0] "
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing cell prefix %q", want)
+		}
+	}
+}
+
+// TestSweepMetricsMergedPerCell checks the registry-merge layout: each
+// cell's private registry lands in the parent under cell.<name>., and
+// sibling cells never share counters.
+func TestSweepMetricsMergedPerCell(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := tinyConfig()
+	cfg.NumJobs = 80
+	cfg.WarmupJobs = 10
+	cfg.Workers = 4
+	cfg.Metrics = reg
+
+	sw := NewSweep(cfg)
+	for _, s := range []Scheme{SchemeMayflower, SchemeNearestECMP} {
+		c := cfg
+		c.Scheme = s
+		sw.AddPoint("met", 0, c)
+	}
+	if _, err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"cell.met/x=0/mayflower/t0.experiment.jobs_completed",
+		"cell.met/x=0/mayflower/t0.flowserver.selections",
+		"cell.met/x=0/nearest-ecmp/t0.experiment.jobs_completed",
+	} {
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Errorf("counter %q missing from merged snapshot", name)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("counter %q = %d, want > 0", name, v)
+		}
+	}
+	// Per-cell job counters must reflect only their own cell.
+	want := int64(cfg.NumJobs)
+	if got := snap.Counters["cell.met/x=0/mayflower/t0.experiment.jobs_started"]; got != want {
+		t.Errorf("mayflower cell jobs_started = %d, want %d", got, want)
+	}
+	// The drift histogram of the Flowserver cell must be present; the
+	// ECMP cell has no Flowserver and must not have one.
+	if _, ok := snap.Histograms["cell.met/x=0/mayflower/t0.experiment.drift.mayflower.rel_err"]; !ok {
+		t.Error("mayflower cell drift histogram missing")
+	}
+	if _, ok := snap.Histograms["cell.met/x=0/nearest-ecmp/t0.experiment.drift.nearest-ecmp.rel_err"]; ok {
+		t.Error("nearest-ecmp cell unexpectedly has a drift histogram")
+	}
+}
+
+// TestSweepErrorDeterministic: a sweep with failing cells reports the
+// earliest failing cell in enumeration order, for every worker count.
+func TestSweepErrorDeterministic(t *testing.T) {
+	mkSweep := func(workers int) *Sweep {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		sw := NewSweep(cfg)
+		ok := cfg
+		sw.AddPoint("err", 0, ok)
+		bad1 := cfg
+		bad1.NumJobs = 0 // fails validation
+		sw.AddPoint("err", 1, bad1)
+		bad2 := cfg
+		bad2.StatsInterval = 0 // also fails
+		sw.AddPoint("err", 2, bad2)
+		return sw
+	}
+	var first string
+	for _, workers := range []int{1, 4} {
+		_, err := mkSweep(workers).Run()
+		if err == nil {
+			t.Fatalf("workers=%d: sweep with invalid cells succeeded", workers)
+		}
+		if !strings.Contains(err.Error(), "err/x=1") {
+			t.Errorf("workers=%d: error %q does not name the earliest failing cell", workers, err)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Errorf("error differs across worker counts:\n%q\n%q", first, err.Error())
+		}
+	}
+}
+
+// TestFigure8Shape checks the new Figure 8 table: HDFS-ECMP trails
+// Mayflower, and adding Mayflower's network scheduler to HDFS helps.
+func TestFigure8Shape(t *testing.T) {
+	tbl, err := Figure8(smallConfig(SchemeMayflower))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tbl.Rows))
+	}
+	if tbl.Rows[0].Scheme != SchemeMayflower || tbl.Rows[0].AvgRatio != 1 {
+		t.Errorf("lead row not Mayflower at 1.0: %+v", tbl.Rows[0])
+	}
+	byScheme := make(map[Scheme]NormalizedRow)
+	for _, r := range tbl.Rows {
+		byScheme[r.Scheme] = r
+	}
+	if ecmp := byScheme[SchemeHDFSECMP].AvgRatio; !(ecmp > 1) {
+		t.Errorf("HDFS-ECMP ratio %.2f, want > 1", ecmp)
+	}
+	if mf, ecmp := byScheme[SchemeHDFSMayflower].AvgRatio, byScheme[SchemeHDFSECMP].AvgRatio; mf > ecmp*1.05 {
+		t.Errorf("HDFS-Mayflower (%.2f) should not trail HDFS-ECMP (%.2f)", mf, ecmp)
+	}
+}

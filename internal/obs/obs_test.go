@@ -222,3 +222,74 @@ func TestConcurrentWriters(t *testing.T) {
 		t.Fatalf("hist count = %d, want 8000", got)
 	}
 }
+
+func TestRegistryMerge(t *testing.T) {
+	parent := NewRegistry()
+	parent.Counter("cell.a.jobs").Add(5) // pre-existing: merge must add, not replace
+
+	cell := NewRegistry()
+	cell.Counter("jobs").Add(7)
+	cell.Gauge("stalled").Set(3)
+	cell.Histogram("lat", 1e-3, 1e3).Observe(0.5)
+	cell.Histogram("lat", 1e-3, 1e3).Observe(2)
+	cell.RegisterGaugeFunc("live", func() float64 { return 42 })
+
+	parent.Merge(cell, "cell.a.")
+	snap := parent.Snapshot()
+	if got := snap.Counters["cell.a.jobs"]; got != 12 {
+		t.Errorf("merged counter = %d, want 12 (5 pre-existing + 7)", got)
+	}
+	if got := snap.Gauges["cell.a.stalled"]; got != 3 {
+		t.Errorf("merged gauge = %g, want 3", got)
+	}
+	if got := snap.Histograms["cell.a.lat"].Count; got != 2 {
+		t.Errorf("merged histogram count = %d, want 2", got)
+	}
+	if got := snap.Gauges["cell.a.live"]; got != 42 {
+		t.Errorf("merged gauge func = %g, want 42", got)
+	}
+
+	// Merging a second cell under a distinct prefix must not disturb the
+	// first cell's names.
+	other := NewRegistry()
+	other.Counter("jobs").Add(100)
+	parent.Merge(other, "cell.b.")
+	snap = parent.Snapshot()
+	if got := snap.Counters["cell.a.jobs"]; got != 12 {
+		t.Errorf("cell.a.jobs disturbed by unrelated merge: %d", got)
+	}
+	if got := snap.Counters["cell.b.jobs"]; got != 100 {
+		t.Errorf("cell.b.jobs = %d, want 100", got)
+	}
+
+	// Self-merge and nil-merge are no-ops.
+	parent.Merge(parent, "loop.")
+	parent.Merge(nil, "nil.")
+	snap = parent.Snapshot()
+	if _, ok := snap.Counters["loop.cell.a.jobs"]; ok {
+		t.Error("self-merge duplicated metrics")
+	}
+}
+
+func TestRegistryMergeConcurrent(t *testing.T) {
+	parent := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cell := NewRegistry()
+			cell.Counter("n").Add(int64(i + 1))
+			cell.Histogram("h", 1e-3, 1e3).Observe(float64(i + 1))
+			parent.Merge(cell, fmt.Sprintf("cell.%d.", i))
+		}()
+	}
+	wg.Wait()
+	snap := parent.Snapshot()
+	for i := 0; i < 8; i++ {
+		if got := snap.Counters[fmt.Sprintf("cell.%d.n", i)]; got != int64(i+1) {
+			t.Errorf("cell.%d.n = %d, want %d", i, got, i+1)
+		}
+	}
+}

@@ -103,6 +103,71 @@ func (r *Registry) RegisterHistogram(name string, h *Histogram) {
 	r.hists[name] = h
 }
 
+// Merge folds every metric registered in src into r under the given name
+// prefix: counter values add onto r's counters, gauge values overwrite,
+// histograms merge bucket-for-bucket (created in r with src's geometry
+// when absent), and gauge funcs are re-registered so future snapshots of
+// r evaluate them live. src is read under its own lock and left
+// untouched. The sweep runner uses this to fold each experiment cell's
+// private registry into a parent registry under a per-cell prefix, so
+// concurrent cells never share writer state and the parent's layout is
+// deterministic. Merging a registry into itself is a no-op.
+func (r *Registry) Merge(src *Registry, prefix string) {
+	if src == nil || src == r {
+		return
+	}
+	// Copy src's tables first, then apply under r's lock: never holding
+	// both locks rules out deadlock regardless of merge direction.
+	src.mu.RLock()
+	counters := make(map[string]int64, len(src.counters))
+	for name, c := range src.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges[name] = g.Value()
+	}
+	gaugeFuncs := make(map[string]func() float64, len(src.gaugeFuncs))
+	for name, fn := range src.gaugeFuncs {
+		gaugeFuncs[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for name, h := range src.hists {
+		hists[name] = h
+	}
+	src.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, v := range counters {
+		c, ok := r.counters[prefix+name]
+		if !ok {
+			c = &Counter{}
+			r.counters[prefix+name] = c
+		}
+		c.Add(v)
+	}
+	for name, v := range gauges {
+		g, ok := r.gauges[prefix+name]
+		if !ok {
+			g = &Gauge{}
+			r.gauges[prefix+name] = g
+		}
+		g.Set(v)
+	}
+	for name, fn := range gaugeFuncs {
+		r.gaugeFuncs[prefix+name] = fn
+	}
+	for name, src := range hists {
+		h, ok := r.hists[prefix+name]
+		if !ok {
+			h = NewHistogram(src.lo, src.hi)
+			r.hists[prefix+name] = h
+		}
+		h.Merge(src)
+	}
+}
+
 // Snapshot is a point-in-time, JSON-marshalable view of every metric in
 // a registry. Map keys marshal in sorted order, so snapshots of the same
 // state are byte-identical.

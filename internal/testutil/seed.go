@@ -1,0 +1,34 @@
+package testutil
+
+// splitmix64 is one round of Steele et al.'s SplitMix64 finalizer, the
+// standard way to expand one seed into many statistically independent
+// streams (it is what math/rand/v2 and Java's SplittableRandom use to
+// split generators). One round is a full-avalanche bijection on 64 bits,
+// so nearby inputs — consecutive cell indices, small seeds — land on
+// unrelated outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SplitMix64 mixes x through one SplitMix64 round. Exposed for callers
+// that want the raw bijection; most callers want DeriveSeed.
+func SplitMix64(x uint64) uint64 { return splitmix64(x) }
+
+// DeriveSeed derives the index-th child seed from a base seed. The
+// mapping is a pure function of (base, index): equal inputs always give
+// the same child, distinct indices give unrelated children, and the
+// child streams of different bases do not collide in any systematic way
+// — exactly what a sweep of independently seeded experiment cells needs.
+// DeriveSeed(base, 0) is NOT the identity; callers that want index 0 to
+// preserve the base seed (for backward-compatible single-trial runs)
+// special-case it themselves.
+func DeriveSeed(base int64, index uint64) int64 {
+	// Mix the base first, then offset by the index and mix again. The
+	// asymmetry matters: a commutative combiner (xor of two mixes) would
+	// collide on swapped (base, index) pairs, which real sweeps hit —
+	// seed 1 cell 0 vs seed 0 cell 1.
+	return int64(splitmix64(splitmix64(uint64(base)) + index))
+}

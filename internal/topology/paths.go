@@ -43,6 +43,12 @@ func (t *Topology) ValidPath(p Path, src, dst NodeID) bool {
 // Results are memoized per (src, dst): the topology is immutable, so the
 // Flowserver's per-request path enumeration amortizes to a map lookup. The
 // returned paths are shared across callers and must not be modified.
+//
+// ShortestPaths is safe for concurrent use: parallel experiment cells
+// share one topology (and therefore one path cache), so the memo map is
+// guarded by pathMu, and a double-check under the write lock makes every
+// caller — including concurrent first callers racing to fill the same
+// entry — observe the one canonical slice for a host pair.
 func (t *Topology) ShortestPaths(src, dst NodeID) []Path {
 	if src == dst {
 		return nil
@@ -54,9 +60,13 @@ func (t *Topology) ShortestPaths(src, dst NodeID) []Path {
 	if ok {
 		return ps
 	}
-	ps = t.buildShortestPaths(src, dst)
+	built := t.buildShortestPaths(src, dst)
 	t.pathMu.Lock()
-	t.pathCache[key] = ps
+	ps, ok = t.pathCache[key]
+	if !ok {
+		ps = built
+		t.pathCache[key] = ps
+	}
 	t.pathMu.Unlock()
 	return ps
 }

@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestShortestPathsConcurrent hammers the shortest-path memo from many
+// goroutines at once — the access pattern of a parallel figure sweep
+// whose cells share one topology. Run under -race it fails on any
+// unsynchronized access to the memo map (the pre-RWMutex code raced
+// here), and the canonical-slice invariant below fails if two racing
+// first callers could each install their own copy of an entry.
+func TestShortestPathsConcurrent(t *testing.T) {
+	topo := testTopo(t)
+	hosts := topo.Hosts()
+
+	// Sequential reference on a second, identical topology.
+	ref, err := New(PaperTestbed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	first := make([][][]Path, workers) // worker -> pair -> paths
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every worker walks every ordered host pair, twice: the
+			// first pass races on cold cache entries, the second pass
+			// must hit the memo.
+			for pass := 0; pass < 2; pass++ {
+				var got [][]Path
+				for _, src := range hosts {
+					for _, dst := range hosts {
+						if src == dst {
+							continue
+						}
+						got = append(got, topo.ShortestPaths(src, dst))
+					}
+				}
+				if pass == 0 {
+					first[w] = got
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Canonical-slice invariant: all workers saw the exact same slice
+	// (not just equal contents) for every pair, and a post-race lookup
+	// returns it too.
+	i := 0
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			canon := topo.ShortestPaths(src, dst)
+			for w := 0; w < workers; w++ {
+				if &first[w][i][0] != &canon[0] {
+					t.Fatalf("worker %d saw a non-canonical path set for pair %d", w, i)
+				}
+			}
+			// Contents must match an independently built topology.
+			want := ref.ShortestPaths(src, dst)
+			if !reflect.DeepEqual(canon, want) {
+				t.Fatalf("concurrent fill corrupted paths for %v->%v", src, dst)
+			}
+			if !topo.ValidPath(canon[0], src, dst) {
+				t.Fatalf("invalid memoized path for %v->%v", src, dst)
+			}
+			i++
+		}
+	}
+}
