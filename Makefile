@@ -46,12 +46,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzAllocate -fuzztime=30s ./internal/maxmin
 	$(GO) test -fuzz=FuzzSharesWithNewFlow -fuzztime=30s ./internal/maxmin
 
-# bench runs the hot-path selection/churn benchmarks and records the result
-# in BENCH_selection.json, the committed performance baseline for the
-# incremental allocator.
+# bench runs the hot-path selection/churn/replication benchmarks and
+# records the result in BENCH_selection.json, the committed performance
+# baseline for the incremental allocator and the write path.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver \
 		| $(GO) run ./cmd/bench2json > BENCH_selection.json
 	@cat BENCH_selection.json
 
@@ -62,8 +62,8 @@ bench:
 # warm-up allocations tip the allocs/op average. CI's bench-smoke job
 # runs this.
 bench-check:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver \
 		| $(GO) run ./cmd/bench2json -compare BENCH_selection.json -max-regress 0.20
 
 check: build vet fmt-check race

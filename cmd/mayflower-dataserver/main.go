@@ -35,6 +35,7 @@ func run(args []string) error {
 		ctlAddr   = fs.String("listen-control", "127.0.0.1:0", "control RPC listen address")
 		dataAdr   = fs.String("listen-data", "127.0.0.1:0", "bulk data listen address")
 		nsAddr    = fs.String("nameserver", "127.0.0.1:7000", "nameserver RPC address")
+		fsrvAddr  = fs.String("flowserver", "", "flowserver RPC address for network-scheduled replication relays (optional; empty = static relay order)")
 		debugAddr = fs.String("debug-addr", "", "serve /debug/metrics (runtime gauges) on this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -45,12 +46,13 @@ func run(args []string) error {
 	}
 
 	srv, err := dataserver.New(dataserver.Config{
-		ID:     *id,
-		Root:   *root,
-		Host:   *host,
-		Pod:    *pod,
-		Rack:   *rack,
-		Logger: log.Default(),
+		ID:             *id,
+		Root:           *root,
+		Host:           *host,
+		Pod:            *pod,
+		Rack:           *rack,
+		FlowserverAddr: *fsrvAddr,
+		Logger:         log.Default(),
 	})
 	if err != nil {
 		return err

@@ -129,7 +129,10 @@ func run(args []string) error {
 	if *repairEvery > 0 {
 		// The monitor announces each death once per down episode; passes
 		// that only re-confirm an already-declared death stay quiet unless
-		// they did work.
+		// they did work. New-file placement uses the same death horizon,
+		// so a server the monitor would declare dead is never handed a
+		// fresh file's replica.
+		svc.SetPlacementLiveness(5 * *repairEvery)
 		monitor := repair.NewMonitor(repair.Config{
 			Service:   svc,
 			DeadAfter: 5 * *repairEvery,

@@ -9,6 +9,7 @@
 //	mayflower-sim -fig 6b           # Figure 6(b) (λ sweep, core-heavy)
 //	mayflower-sim -fig 7            # Figure 7 (oversubscription)
 //	mayflower-sim -fig 8            # Figure 8 (HDFS integration)
+//	mayflower-sim -fig 9            # Figure 9 (write-workload sweep)
 //	mayflower-sim -fig multiread    # §4.3 multi-replica reads
 //	mayflower-sim -fig background   # robustness to unscheduled cross traffic
 //	mayflower-sim -fig ablate-cost  # DESIGN.md ablation: Eq. 2 impact term
@@ -16,7 +17,8 @@
 //	mayflower-sim -fig ablate-poll  # stats-poll interval sensitivity
 //	mayflower-sim -fig all          # everything above
 //
-// Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi.
+// Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi,
+// -write-frac (run a read/append mix through any figure).
 // Parallelism: -j bounds how many sweep cells run concurrently (0 =
 // GOMAXPROCS); -trials repeats every figure cell on derived seeds and
 // reports Student-t confidence intervals over the trial means. Tables
@@ -52,7 +54,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mayflower-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, 8, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
+		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, 8, 9, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
 		jobs       = fs.Int("jobs", 1200, "number of read jobs per run")
 		warmup     = fs.Int("warmup", 100, "jobs excluded from statistics")
 		files      = fs.Int("files", 300, "catalog size")
@@ -69,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot (counters, drift histograms) to this file on exit")
 		progress   = fs.Bool("progress", false, "print per-scheme job progress to stderr")
+		writeFrac  = fs.Float64("write-frac", -1, "fraction of jobs run as appends; <0 keeps each figure's default (figure 9 sweeps its own fractions)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +121,9 @@ func run(args []string, out io.Writer) error {
 	base.MultiReplica = *multi
 	base.Workers = *workers
 	base.Trials = *trials
+	if *writeFrac >= 0 {
+		base.WriteFraction = *writeFrac
+	}
 	if *progress {
 		base.Progress = os.Stderr
 	}
@@ -138,7 +144,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {
+		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "9", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {
 			if err := runOne(out, name, base, *asCSV); err != nil {
 				return err
 			}
@@ -222,6 +228,16 @@ func runOne(out io.Writer, name string, base experiment.Config, asCSV bool) erro
 		}
 		fmt.Fprintln(out, "=== Figure 8: HDFS with and without Mayflower's network scheduler ===")
 		return experiment.WriteNormalizedTable(out, tbl)
+	case "9":
+		sw, err := experiment.Figure9(base)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteSweepCSV(out, sw, "write-frac")
+		}
+		fmt.Fprintln(out, "=== Figure 9: write-workload sweep ===")
+		return experiment.WriteSweep(out, sw, "write-frac")
 	case "multiread":
 		fmt.Fprintln(out, "=== §4.3: reading from multiple replicas ===")
 		mr, err := experiment.MultiRead(base)

@@ -100,6 +100,7 @@ type Scenario struct {
 func Scenarios() []Scenario {
 	return []Scenario{
 		{Name: "KillDataserver", Run: KillDataserverMidRead},
+		{Name: "KillPrimaryMidAppend", Run: KillPrimaryMidAppend},
 		{Name: "FlowserverUnreachable", Run: FlowserverUnreachable},
 		{Name: "FlowserverStall", Run: FlowserverStall},
 		{Name: "NameserverReplicaCrash", Run: NameserverReplicaCrash},

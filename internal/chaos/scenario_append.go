@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/client"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/repair"
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+)
+
+// KillPrimaryMidAppend kills a file's primary replica while a multi-piece
+// append is streaming through it, then runs a repair pass that promotes a
+// survivor, and asserts:
+//
+//   - the append completes successfully once repair re-elects a primary
+//     (the client retries pieces across the failover, re-sending under
+//     stable sequence numbers);
+//   - the file ends at exactly prefix+tail bytes with the prefix||tail
+//     checksum — the retries never duplicated or dropped a piece;
+//   - the repair pass declares exactly the victim dead and re-replicates
+//     the file's lost replica.
+func KillPrimaryMidAppend(ctx context.Context, t *T) error {
+	d, err := newDeployment(t, testbed.ModeMayflower)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	// The scripted gap between the kill and the repair pass is ~600 ms;
+	// give the retry loop enough passes (25 ms base, doubling) to still be
+	// trying well after the promotion lands, and shrink the piece size so
+	// the tail append spans several pieces.
+	cl, err := d.cluster.NewClient(d.hosts[0], func(o *client.Options) {
+		o.WriteRetries = 8
+		o.RetryBackoff = 25 * time.Millisecond
+		o.AppendPieceBytes = 32 << 10
+	})
+	if err != nil {
+		return err
+	}
+
+	reps := d.pickReplicas(t, 3)
+	victim := reps[0] // the primary orders appends; kill exactly it
+	host := d.hostOf[victim]
+	if _, err := cl.Create(ctx, "w0", nameserver.CreateOptions{
+		Replication:       3,
+		PreferredReplicas: reps,
+	}); err != nil {
+		return fmt.Errorf("create w0: %w", err)
+	}
+	prefix := t.Payload("w0-prefix", 64<<10)
+	if _, err := cl.Append(ctx, "w0", prefix); err != nil {
+		return fmt.Errorf("append prefix: %w", err)
+	}
+	tail := t.Payload("w0-tail", 128<<10) // 4 pieces at 32 KiB
+	want := append(append([]byte(nil), prefix...), tail...)
+	t.Eventf("created w0 prefix=%d tail=%d replicas=%v sum=%08x",
+		len(prefix), len(tail), reps, Checksum(want))
+
+	// The tail append runs concurrently with the kill; the join step
+	// observes only its final outcome, so the trace is identical however
+	// many retry passes the failover takes.
+	appendDone := make(chan error, 1)
+	var gotSize int64
+	sched := &Scheduler{}
+	sched.At(0, "start tail append", func() error {
+		go func() {
+			size, err := cl.Append(ctx, "w0", tail)
+			gotSize = size
+			appendDone <- err
+		}()
+		return nil
+	})
+	sched.At(2*time.Millisecond, fmt.Sprintf("kill primary %s", victim), func() error {
+		_, err := d.cluster.KillDataserver(host)
+		return err
+	})
+	// Past the heartbeat-silence threshold: liveness has confirmed the
+	// death, so a repair pass can promote a survivor and re-replicate.
+	sched.At(600*time.Millisecond, "repair pass promotes a survivor", func() error {
+		mon := repair.NewMonitor(repair.Config{
+			Service:   d.cluster.NameserverService(),
+			DeadAfter: 250 * time.Millisecond,
+		})
+		res, err := mon.Pass(ctx)
+		if err != nil {
+			return err
+		}
+		if len(res.Dead) != 1 || res.Dead[0] != victim {
+			return fmt.Errorf("declared dead %v, want [%s]", res.Dead, victim)
+		}
+		if len(res.Lost) > 0 || len(res.Faults) > 0 {
+			return fmt.Errorf("repair lost=%v faults=%v", res.Lost, res.Faults)
+		}
+		if res.Repaired != 1 {
+			return fmt.Errorf("repaired %d replicas, want 1", res.Repaired)
+		}
+		t.Eventf("declared dead: %v, re-replicated %d replica", res.Dead, res.Repaired)
+		return nil
+	})
+	sched.At(610*time.Millisecond, "join tail append", func() error {
+		if err := <-appendDone; err != nil {
+			return fmt.Errorf("append across failover: %w", err)
+		}
+		if gotSize != int64(len(want)) {
+			return fmt.Errorf("append returned size %d, want %d", gotSize, len(want))
+		}
+		t.Eventf("append ok size=%d", gotSize)
+		return nil
+	})
+	sched.At(620*time.Millisecond, "verify no bytes duplicated or lost", func() error {
+		data, err := cl.ReadAll(ctx, "w0")
+		if err != nil {
+			return fmt.Errorf("read w0 post-failover: %w", err)
+		}
+		if len(data) != len(want) {
+			return fmt.Errorf("read %d bytes, want %d", len(data), len(want))
+		}
+		if !bytes.Equal(data, want) {
+			return fmt.Errorf("read checksum %08x, want %08x", Checksum(data), Checksum(want))
+		}
+		t.Eventf("read w0 ok n=%d sum=%08x", len(data), Checksum(data))
+		return nil
+	})
+	return sched.Run(t)
+}

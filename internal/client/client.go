@@ -98,6 +98,16 @@ type Options struct {
 	// RetryBackoff is the base delay before the second failover pass,
 	// doubled each further pass and capped at 2 s (50 ms if zero).
 	RetryBackoff time.Duration
+	// WriteRetries is how many attempts each append piece makes before
+	// giving up (3 if zero). Between attempts the file metadata is
+	// refreshed so a repair-promoted primary is picked up, and pieces are
+	// re-sent under the same sequence number so dataservers deduplicate
+	// them — a retry never appends bytes twice.
+	WriteRetries int
+	// AppendPieceBytes overrides the append piece size (dataserver
+	// MaxAppend if zero or larger; tests shrink it to exercise multi-piece
+	// appends with small payloads).
+	AppendPieceBytes int
 	// FlowserverTimeout bounds the Flowserver Select RPC (2 s if zero,
 	// <0 disables). On expiry or error the client degrades to
 	// locality-order replica selection; the Flowserver is an optimizer,
@@ -125,6 +135,15 @@ type clientMetrics struct {
 	attemptsErr    obs.Counter
 	readsDegraded  obs.Counter
 	backoffSeconds *obs.Histogram
+
+	// Write path: flows registered for appends, failover passes across
+	// primary re-election, per-piece attempt outcomes, and appends that
+	// ran without a Flowserver schedule.
+	writeFlows          obs.Counter
+	writeFailoverPasses obs.Counter
+	appendAttemptsOK    obs.Counter
+	appendAttemptsErr   obs.Counter
+	writesDegraded      obs.Counter
 }
 
 func (m *clientMetrics) register(r *obs.Registry) {
@@ -133,6 +152,11 @@ func (m *clientMetrics) register(r *obs.Registry) {
 	r.RegisterCounter("client.read_attempts_err", &m.attemptsErr)
 	r.RegisterCounter("client.reads_degraded", &m.readsDegraded)
 	r.RegisterHistogram("client.backoff_seconds", m.backoffSeconds)
+	r.RegisterCounter("client.write_flows", &m.writeFlows)
+	r.RegisterCounter("client.write_failover_passes", &m.writeFailoverPasses)
+	r.RegisterCounter("client.append_attempts_ok", &m.appendAttemptsOK)
+	r.RegisterCounter("client.append_attempts_err", &m.appendAttemptsErr)
+	r.RegisterCounter("client.writes_degraded", &m.writesDegraded)
 }
 
 type cacheEntry struct {
@@ -184,6 +208,9 @@ func New(opts Options) (*Client, error) {
 	}
 	if opts.RetryBackoff == 0 {
 		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.WriteRetries == 0 {
+		opts.WriteRetries = 3
 	}
 	if opts.FlowserverTimeout == 0 {
 		opts.FlowserverTimeout = 2 * time.Second
@@ -324,13 +351,26 @@ func (c *Client) Create(ctx context.Context, name string, opts nameserver.Create
 	if err != nil {
 		return nameserver.FileInfo{}, err
 	}
-	cc, err := c.control(info.Primary().ControlAddr)
-	if err != nil {
-		return nameserver.FileInfo{}, fmt.Errorf("client: prepare %s: %w", name, err)
+	prepare := func() error {
+		cc, err := c.control(info.Primary().ControlAddr)
+		if err != nil {
+			return err
+		}
+		var out struct{}
+		pctx, pcancel := c.rpcCtx(ctx)
+		defer pcancel()
+		return cc.Call(pctx, dataserver.MethodPrepare,
+			dataserver.PrepareArgs{Info: info, Relay: true}, &out)
 	}
-	var out struct{}
-	if err := cc.Call(ctx, dataserver.MethodPrepare,
-		dataserver.PrepareArgs{Info: info, Relay: true}, &out); err != nil {
+	if err := prepare(); err != nil {
+		// The nameserver installed the file before Prepare ran; without
+		// cleanup a failed create strands a zero-byte orphan that blocks
+		// the name forever. Best-effort: the metadata delete is what
+		// matters, and an error from it keeps the orphan — the caller's
+		// retry then reports ErrExists rather than silently re-creating.
+		dctx, dcancel := c.rpcCtx(ctx)
+		_, _ = c.ns.Delete(dctx, name)
+		dcancel()
 		return nameserver.FileInfo{}, fmt.Errorf("client: prepare %s: %w", name, err)
 	}
 	c.storeCache(name, info)
@@ -338,34 +378,56 @@ func (c *Client) Create(ctx context.Context, name string, opts nameserver.Create
 }
 
 // Append appends data to a file through its primary replica and returns
-// the file's new size. Large appends are split into MaxAppend pieces.
+// the file's new size. Large appends are split into MaxAppend pieces
+// (see write.go for the failover and flow-scheduling machinery).
+//
+// Each piece is retried across primary failures: the client drops its
+// cached metadata and control connection, backs off, refreshes the
+// replica set (picking up a repair-promoted primary), and re-sends the
+// piece under the same sequence number, which dataservers deduplicate —
+// a retry after a lost ack never appends bytes twice.
+//
+// On error, the returned size is the file size as of the last piece this
+// call got acknowledged (0 when no piece was acknowledged): bytes up to
+// that size are durably appended, bytes past it are not guaranteed.
 func (c *Client) Append(ctx context.Context, name string, data []byte) (int64, error) {
 	info, err := c.fileInfo(ctx, name)
 	if err != nil {
 		return 0, err
 	}
-	cc, err := c.control(info.Primary().ControlAddr)
-	if err != nil {
-		return 0, err
+	if len(data) == 0 {
+		return info.SizeBytes, nil
 	}
+
+	// Register the client→primary transfer with the Flowserver so write
+	// traffic is scheduled (and visible) like reads; the primary registers
+	// the replication hops itself.
+	wf := c.registerWriteFlow(ctx, info.Primary().Host, float64(len(data))*8)
+	defer wf.finish(c)
+
+	pieceMax := dataserver.MaxAppend
+	if p := c.opts.AppendPieceBytes; p > 0 && p < pieceMax {
+		pieceMax = p
+	}
+	seqBase := c.appendSeqBase()
 	var size int64
-	for len(data) > 0 {
-		n := len(data)
-		if n > dataserver.MaxAppend {
-			n = dataserver.MaxAppend
+	for off, piece := 0, 0; off < len(data); piece++ {
+		n := len(data) - off
+		if n > pieceMax {
+			n = pieceMax
 		}
-		var reply dataserver.AppendReply
-		err := cc.Call(ctx, dataserver.MethodAppend, dataserver.AppendArgs{
-			FileID: info.ID,
-			Name:   name,
-			Data:   data[:n],
-		}, &reply)
+		seq := seqBase + uint64(piece)
+		if seq == 0 {
+			seq = 1
+		}
+		remBits := float64(len(data)-off) * 8
+		sz, fresh, err := c.appendPiece(ctx, name, info, seq, data[off:off+n], remBits, &wf)
+		info = fresh
 		if err != nil {
-			c.dropControl(info.Primary().ControlAddr)
 			return size, fmt.Errorf("client: append %s: %w", name, err)
 		}
-		size = reply.SizeBytes
-		data = data[n:]
+		size = sz
+		off += n
 	}
 	c.observeSize(name, size)
 	return size, nil
@@ -428,8 +490,11 @@ func (c *Client) Delete(ctx context.Context, name string) error {
 			continue
 		}
 		var out struct{}
-		if err := cc.Call(ctx, dataserver.MethodDelete,
-			dataserver.FileIDArgs{FileID: info.ID}, &out); err != nil && firstErr == nil {
+		cctx, ccancel := c.rpcCtx(ctx)
+		err = cc.Call(cctx, dataserver.MethodDelete,
+			dataserver.FileIDArgs{FileID: info.ID}, &out)
+		ccancel()
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -1,0 +1,264 @@
+package dataserver
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+	"github.com/mayflower-dfs/mayflower/internal/uuid"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+func statSize(t *testing.T, cc *wire.Client, c *cluster) int64 {
+	t.Helper()
+	var st StatReply
+	if err := cc.Call(context.Background(), MethodStat, FileIDArgs{FileID: c.info.ID}, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.SizeBytes
+}
+
+// TestAppendSeqDedupe re-sends an acknowledged piece under the same
+// sequence number and checks no replica appends it twice.
+func TestAppendSeqDedupe(t *testing.T) {
+	c := startCluster(t, 3, 64)
+	payload := []byte("hello replicated world")
+	args := AppendArgs{FileID: c.info.ID, Data: payload, Seq: 7}
+
+	var reply AppendReply
+	if err := c.ctl[0].Call(context.Background(), MethodAppend, args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	// A lost ack makes the client re-send the identical piece.
+	if err := c.ctl[0].Call(context.Background(), MethodAppend, args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(payload))
+	if reply.SizeBytes != want {
+		t.Errorf("size after re-send = %d, want %d", reply.SizeBytes, want)
+	}
+	for i, cc := range c.ctl {
+		if got := statSize(t, cc, c); got != want {
+			t.Errorf("replica %d size = %d, want %d", i, got, want)
+		}
+	}
+	if st := c.servers[0].WriteStats(); st.AppendDedups != 1 {
+		t.Errorf("AppendDedups = %d, want 1", st.AppendDedups)
+	}
+}
+
+// TestAppendSeqRetryHealsReplicas simulates the dangerous half-applied
+// state — the primary applied a piece locally and recorded its sequence,
+// but the relay never ran — and checks the client's retry lands at the
+// recorded offset (no duplicate on the primary) while the relay brings
+// the replicas up to date.
+func TestAppendSeqRetryHealsReplicas(t *testing.T) {
+	c := startCluster(t, 3, 64)
+	payload := []byte("piece that lost its relay")
+
+	fs0, err := c.servers[0].store.get(c.info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := fs0.localSize()
+	fs0.recordSeq(42, offset)
+	if _, err := c.servers[0].store.appendAt(c.info.ID, offset, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	var reply AppendReply
+	if err := c.ctl[0].Call(context.Background(), MethodAppend,
+		AppendArgs{FileID: c.info.ID, Data: payload, Seq: 42}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(payload))
+	if reply.SizeBytes != want {
+		t.Errorf("size after retry = %d, want %d (primary must not duplicate)", reply.SizeBytes, want)
+	}
+	for i, cc := range c.ctl {
+		if got := statSize(t, cc, c); got != want {
+			t.Errorf("replica %d size = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestPromotedPrimaryInheritsSeqDedupe kills the primary after a fully
+// relayed append and checks a replica promoted in its place recognizes
+// the piece's sequence number: the client's re-send must not duplicate.
+func TestPromotedPrimaryInheritsSeqDedupe(t *testing.T) {
+	c := startCluster(t, 3, 64)
+	payload := []byte("acked everywhere, ack lost")
+	args := AppendArgs{FileID: c.info.ID, Data: payload, Seq: 5}
+
+	var reply AppendReply
+	if err := c.ctl[0].Call(context.Background(), MethodAppend, args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.servers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote replica 1 the way repair does: rewrite the metadata with the
+	// survivors and the new primary first.
+	info := c.info
+	info.Replicas = []nameserver.ReplicaLoc{c.info.Replicas[1], c.info.Replicas[2]}
+	if err := c.servers[1].store.updateInfo(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.servers[2].store.updateInfo(info); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.ctl[1].Call(context.Background(), MethodAppend, args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(payload))
+	if reply.SizeBytes != want {
+		t.Errorf("size after failover re-send = %d, want %d", reply.SizeBytes, want)
+	}
+	if st := c.servers[1].WriteStats(); st.AppendDedups != 1 {
+		t.Errorf("promoted primary AppendDedups = %d, want 1", st.AppendDedups)
+	}
+}
+
+// startFlowserver serves a Flowserver over RPC on an ephemeral port.
+func startFlowserver(t *testing.T, topo *topology.Topology) (*flowserver.Server, string) {
+	t.Helper()
+	fs := flowserver.New(topo, flowserver.Options{})
+	srv := wire.NewServer()
+	if err := flowserver.RegisterRPC(srv, fs, topo, flowserver.Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return fs, ln.Addr().String()
+}
+
+// startScheduledCluster is startCluster with the dataservers placed on
+// real topology hosts and pointed at a live Flowserver.
+func startScheduledCluster(t *testing.T, fsAddr string, hosts []string) *cluster {
+	t.Helper()
+	c := &cluster{}
+	var replicas []nameserver.ReplicaLoc
+	for i, host := range hosts {
+		id := []string{"ds-0", "ds-1", "ds-2"}[i]
+		s, err := New(Config{ID: id, Root: t.TempDir(), Host: host, FlowserverAddr: fsAddr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctlLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dataLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(ctlLn, dataLn, ""); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		c.servers = append(c.servers, s)
+		replicas = append(replicas, nameserver.ReplicaLoc{
+			ServerID:    id,
+			ControlAddr: s.ControlAddr(),
+			DataAddr:    s.DataAddr(),
+			Host:        host,
+		})
+		cc, err := wire.Dial(s.ControlAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cc.Close() })
+		c.ctl = append(c.ctl, cc)
+	}
+	c.info = nameserver.FileInfo{
+		ID:        uuid.MustNew(),
+		Name:      "scheduled-file",
+		ChunkSize: 64,
+		Replicas:  replicas,
+	}
+	var out struct{}
+	if err := c.ctl[0].Call(context.Background(), MethodPrepare,
+		PrepareArgs{Info: c.info, Relay: true}, &out); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAppendRelayUsesFlowserver checks the primary registers its relay
+// hops with the Flowserver, orders them from its schedule, and releases
+// every flow once the append is acknowledged.
+func TestAppendRelayUsesFlowserver(t *testing.T) {
+	topo, err := topology.New(topology.Config{
+		Pods: 1, RacksPerPod: 2, HostsPerRack: 2, AggsPerPod: 2, Cores: 1,
+		EdgeLinkBps: 1e9, EdgeAggLinkBps: 1e9, AggCoreLinkBps: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, fsAddr := startFlowserver(t, topo)
+	hosts := []string{
+		topo.Node(topo.HostAt(0, 0, 0)).Name,
+		topo.Node(topo.HostAt(0, 0, 1)).Name,
+		topo.Node(topo.HostAt(0, 1, 0)).Name,
+	}
+	c := startScheduledCluster(t, fsAddr, hosts)
+
+	payload := bytes.Repeat([]byte("w"), 100)
+	var reply AppendReply
+	if err := c.ctl[0].Call(context.Background(), MethodAppend,
+		AppendArgs{FileID: c.info.ID, Data: payload, Seq: 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	for i, cc := range c.ctl {
+		if got := statSize(t, cc, c); got != int64(len(payload)) {
+			t.Errorf("replica %d size = %d, want %d", i, got, len(payload))
+		}
+	}
+	if st := c.servers[0].WriteStats(); st.RelaysScheduled != 1 || st.RelaysStatic != 0 {
+		t.Errorf("WriteStats = %+v, want one scheduled relay", st)
+	}
+	if got := fs.Counters().WriteSelections; got != 1 {
+		t.Errorf("flowserver WriteSelections = %d, want 1", got)
+	}
+	if n := fs.NumFlows(); n != 0 {
+		t.Errorf("flowserver still tracks %d flows after the append", n)
+	}
+}
+
+// TestAppendRelayFallsBackStatic points the primary at a dead Flowserver
+// and checks the append still succeeds in static order.
+func TestAppendRelayFallsBackStatic(t *testing.T) {
+	// Grab a port that refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	c := startScheduledCluster(t, deadAddr, []string{"h0", "h1", "h2"})
+	payload := []byte("degraded but durable")
+	var reply AppendReply
+	if err := c.ctl[0].Call(context.Background(), MethodAppend,
+		AppendArgs{FileID: c.info.ID, Data: payload, Seq: 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	for i, cc := range c.ctl {
+		if got := statSize(t, cc, c); got != int64(len(payload)) {
+			t.Errorf("replica %d size = %d, want %d", i, got, len(payload))
+		}
+	}
+	if st := c.servers[0].WriteStats(); st.RelaysStatic != 1 || st.RelaysScheduled != 0 {
+		t.Errorf("WriteStats = %+v, want one static relay", st)
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
 	"github.com/mayflower-dfs/mayflower/internal/uuid"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -66,8 +68,52 @@ type Config struct {
 	// nameserver (1 s if zero; 0 heartbeats are never sent when no
 	// nameserver is configured).
 	HeartbeatInterval time.Duration
+	// FlowserverAddr, when set, makes this server (as a file's primary)
+	// ask the Flowserver to order its replication fan-out and register
+	// each relay hop as a scheduled flow. Empty keeps the static replica
+	// order with no flow registration.
+	FlowserverAddr string
+	// Metrics optionally publishes the server's write-path counters under
+	// "dataserver.<ID>." names. Instrumentation is always on.
+	Metrics *obs.Registry
 	// Logger receives non-fatal warnings; nil discards them.
 	Logger *log.Logger
+}
+
+// dsMetrics counts the write path: appends ordered as primary, re-sent
+// pieces absorbed by the sequence dedupe, and how the relay order was
+// chosen (Flowserver-scheduled vs static fallback).
+type dsMetrics struct {
+	appends        obs.Counter
+	appendDedups   obs.Counter
+	relayScheduled obs.Counter
+	relayStatic    obs.Counter
+}
+
+func (m *dsMetrics) register(r *obs.Registry, id string) {
+	prefix := "dataserver." + id + "."
+	r.RegisterCounter(prefix+"appends", &m.appends)
+	r.RegisterCounter(prefix+"append_dedups", &m.appendDedups)
+	r.RegisterCounter(prefix+"relays_scheduled", &m.relayScheduled)
+	r.RegisterCounter(prefix+"relays_static", &m.relayStatic)
+}
+
+// WriteStats is a snapshot of the server's write-path counters.
+type WriteStats struct {
+	Appends         int64
+	AppendDedups    int64
+	RelaysScheduled int64
+	RelaysStatic    int64
+}
+
+// WriteStats returns the server's cumulative write-path counters.
+func (s *Server) WriteStats() WriteStats {
+	return WriteStats{
+		Appends:         s.met.appends.Value(),
+		AppendDedups:    s.met.appendDedups.Value(),
+		RelaysScheduled: s.met.relayScheduled.Value(),
+		RelaysStatic:    s.met.relayStatic.Value(),
+	}
 }
 
 // Server is a running dataserver: a control RPC endpoint, a bulk data
@@ -83,10 +129,13 @@ type Server struct {
 	dataAddr  string
 	ns        *nameserver.Client
 	peers     map[string]*wire.Client
+	fsc       *flowserver.RPCClient
 	dataConns map[net.Conn]struct{}
 	closed    bool
 	wg        sync.WaitGroup
 	beatStop  chan struct{}
+
+	met dsMetrics
 }
 
 // New creates a dataserver over the given storage root.
@@ -111,6 +160,9 @@ func New(cfg Config) (*Server, error) {
 		peers:     make(map[string]*wire.Client),
 		dataConns: make(map[net.Conn]struct{}),
 		beatStop:  make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		s.met.register(cfg.Metrics, cfg.ID)
 	}
 	if err := s.registerHandlers(); err != nil {
 		return nil, err
@@ -256,6 +308,8 @@ func (s *Server) Close() error {
 	s.closed = true
 	dataLn := s.dataLn
 	ns := s.ns
+	fsc := s.fsc
+	s.fsc = nil
 	peers := make([]*wire.Client, 0, len(s.peers))
 	for _, p := range s.peers {
 		peers = append(peers, p)
@@ -278,6 +332,9 @@ func (s *Server) Close() error {
 	}
 	if ns != nil {
 		ns.Close()
+	}
+	if fsc != nil {
+		fsc.Close()
 	}
 	for _, p := range peers {
 		p.Close()
@@ -329,18 +386,26 @@ type PrepareArgs struct {
 	Relay bool `json:"relay,omitempty"`
 }
 
-// AppendArgs appends data to a file through its primary.
+// AppendArgs appends data to a file through its primary. A nonzero Seq
+// identifies the piece for deduplication: a re-sent piece (lost ack or
+// client failover) with the same Seq is applied at the offset the first
+// delivery chose instead of being appended twice.
 type AppendArgs struct {
 	FileID uuid.UUID `json:"fileId"`
 	Name   string    `json:"name"`
 	Data   []byte    `json:"data"`
+	Seq    uint64    `json:"seq,omitempty"`
 }
 
-// AppendAtArgs applies a relayed append at a fixed offset.
+// AppendAtArgs applies a relayed append at a fixed offset. Seq carries
+// the originating piece's sequence number so replicas inherit the dedupe
+// state (a replica promoted to primary must recognize re-sent pieces it
+// already holds).
 type AppendAtArgs struct {
 	FileID uuid.UUID `json:"fileId"`
 	Offset int64     `json:"offset"`
 	Data   []byte    `json:"data"`
+	Seq    uint64    `json:"seq,omitempty"`
 }
 
 // AppendReply reports the file size after an append.
@@ -379,10 +444,17 @@ func (s *Server) registerHandlers() error {
 			if err := json.Unmarshal(params, &a); err != nil {
 				return nil, err
 			}
-			size, err := s.store.appendAt(a.FileID, a.Offset, a.Data)
+			fs, err := s.store.get(a.FileID)
 			if err != nil {
 				return nil, err
 			}
+			fs.appendMu.Lock()
+			size, err := s.store.appendAtLocked(fs, a.FileID, a.Offset, a.Data)
+			fs.appendMu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			fs.recordSeq(a.Seq, a.Offset)
 			return AppendReply{SizeBytes: size}, nil
 		},
 		MethodDelete: func(_ context.Context, params json.RawMessage) (any, error) {
@@ -463,17 +535,37 @@ func (s *Server) handleAppend(ctx context.Context, a AppendArgs) (AppendReply, e
 	// see consistent offsets on every replica.
 	fs.appendMu.Lock()
 	defer fs.appendMu.Unlock()
+	s.met.appends.Inc()
 
 	offset := fs.localSize()
+	if prev, ok := fs.lookupSeq(a.Seq); ok {
+		// Re-sent piece: land it at the offset the first delivery chose.
+		// The local apply below no-ops via the duplicate check and the
+		// relay heals any replica that missed the original delivery.
+		offset = prev
+		s.met.appendDedups.Inc()
+	} else {
+		// Record before applying or relaying: if the relay fails after
+		// the local apply, the retry must reuse this offset, not append
+		// the piece again after the locally applied bytes.
+		fs.recordSeq(a.Seq, offset)
+	}
 	size, err := s.store.appendAtLocked(fs, a.FileID, offset, a.Data)
 	if err != nil {
 		return AppendReply{}, err
 	}
-	for _, rep := range info.Replicas[1:] {
+	order, flows := s.planRelay(ctx, info, float64(len(a.Data))*8)
+	var relayErr error
+	for _, rep := range order {
 		if err := s.callPeer(ctx, rep.ControlAddr, MethodAppendAt,
-			AppendAtArgs{FileID: a.FileID, Offset: offset, Data: a.Data}, &AppendReply{}); err != nil {
-			return AppendReply{}, fmt.Errorf("relay append to %s: %w", rep.ServerID, err)
+			AppendAtArgs{FileID: a.FileID, Offset: offset, Data: a.Data, Seq: a.Seq}, &AppendReply{}); err != nil {
+			relayErr = fmt.Errorf("relay append to %s: %w", rep.ServerID, err)
+			break
 		}
+	}
+	s.finishFlows(flows)
+	if relayErr != nil {
+		return AppendReply{}, relayErr
 	}
 
 	s.mu.Lock()
@@ -487,6 +579,123 @@ func (s *Server) handleAppend(ctx context.Context, a AppendArgs) (AppendReply, e
 		}
 	}
 	return AppendReply{SizeBytes: size}, nil
+}
+
+// flowserverRPCTimeout bounds each control exchange with the Flowserver
+// on the append relay path; a slow controller must degrade the write to
+// static order, not stall it.
+const flowserverRPCTimeout = 2 * time.Second
+
+// planRelay orders the replication fan-out for one append. With a
+// Flowserver configured the order comes from SelectWritePipeline —
+// cheapest hop first, every hop's admission visible to the next — and
+// the returned ids keep the transfers registered in the network model
+// until finishFlows releases them. Any failure falls back to the static
+// replica order: the Flowserver is an optimizer, never a dependency
+// (mirroring the read path's degraded mode).
+func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits float64) ([]nameserver.ReplicaLoc, []flowserver.FlowID) {
+	rest := info.Replicas[1:]
+	if len(rest) == 0 {
+		return rest, nil
+	}
+	if s.cfg.FlowserverAddr == "" {
+		s.met.relayStatic.Inc()
+		return rest, nil
+	}
+	fsc, err := s.flowserverClient()
+	if err != nil {
+		s.met.relayStatic.Inc()
+		return rest, nil
+	}
+	byHost := make(map[string]nameserver.ReplicaLoc, len(rest))
+	hosts := make([]string, len(rest))
+	for i, rep := range rest {
+		hosts[i] = rep.Host
+		byHost[rep.Host] = rep
+	}
+	sctx, cancel := context.WithTimeout(ctx, flowserverRPCTimeout)
+	defer cancel()
+	as, err := fsc.SelectWrite(sctx, flowserver.SelectWriteArgs{
+		SourceHost:  s.cfg.Host,
+		TargetHosts: hosts,
+		Bits:        bits,
+	})
+	if err != nil {
+		s.dropFlowserver(fsc)
+		s.met.relayStatic.Inc()
+		return rest, nil
+	}
+	order := make([]nameserver.ReplicaLoc, 0, len(as))
+	flows := make([]flowserver.FlowID, 0, len(as))
+	for _, a := range as {
+		if !a.Local {
+			flows = append(flows, a.FlowID)
+		}
+		rep, ok := byHost[a.ReplicaHost]
+		if !ok {
+			break
+		}
+		order = append(order, rep)
+	}
+	if len(order) != len(rest) {
+		// The schedule does not cover the replica set (e.g. two replicas
+		// sharing a host); release what it admitted and go static.
+		s.finishFlows(flows)
+		s.met.relayStatic.Inc()
+		return rest, nil
+	}
+	s.met.relayScheduled.Inc()
+	return order, flows
+}
+
+// finishFlows releases relay flow-table entries on a fresh bounded
+// context (the append's own context may already be expired).
+func (s *Server) finishFlows(flows []flowserver.FlowID) {
+	if len(flows) == 0 {
+		return
+	}
+	fsc, err := s.flowserverClient()
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), flowserverRPCTimeout)
+	defer cancel()
+	for _, id := range flows {
+		if err := fsc.Finished(ctx, id); err != nil {
+			s.dropFlowserver(fsc)
+			return
+		}
+	}
+}
+
+// flowserverClient returns (dialing if needed) the cached Flowserver
+// control client.
+func (s *Server) flowserverClient() (*flowserver.RPCClient, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("dataserver: closed")
+	}
+	if s.fsc != nil {
+		return s.fsc, nil
+	}
+	c, err := flowserver.DialRPCTimeout(s.cfg.FlowserverAddr, flowserverRPCTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s.fsc = c
+	return c, nil
+}
+
+// dropFlowserver discards a failed Flowserver connection so the next
+// append redials.
+func (s *Server) dropFlowserver(c *flowserver.RPCClient) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fsc == c {
+		s.fsc = nil
+	}
+	c.Close()
 }
 
 func (s *Server) callPeer(ctx context.Context, addr, method string, args, reply any) error {

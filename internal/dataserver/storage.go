@@ -49,6 +49,55 @@ type fileState struct {
 	// mu guards size.
 	mu   sync.Mutex
 	size int64
+
+	// seqMu guards the append-dedupe records: the offset each recent
+	// append sequence number was applied at, with insertion order kept
+	// for eviction. Replicas record relayed sequences too, so a replica
+	// promoted to primary by repair inherits the dedupe state for pieces
+	// it already holds.
+	seqMu    sync.Mutex
+	seqOff   map[uint64]int64
+	seqOrder []uint64
+}
+
+// maxSeqRecords bounds the per-file append-dedupe memory. Re-sent pieces
+// arrive within a handful of client retry windows, so only a short
+// window of recent sequence numbers ever matters.
+const maxSeqRecords = 1024
+
+// recordSeq remembers the offset an append sequence number was assigned,
+// so a re-sent piece (lost ack, client failover) is applied at the same
+// offset instead of appended twice. Oldest records are evicted first;
+// sequence 0 means "no dedupe" and is never recorded.
+func (f *fileState) recordSeq(seq uint64, offset int64) {
+	if seq == 0 {
+		return
+	}
+	f.seqMu.Lock()
+	defer f.seqMu.Unlock()
+	if f.seqOff == nil {
+		f.seqOff = make(map[uint64]int64)
+	}
+	if _, ok := f.seqOff[seq]; !ok {
+		f.seqOrder = append(f.seqOrder, seq)
+		if len(f.seqOrder) > maxSeqRecords {
+			delete(f.seqOff, f.seqOrder[0])
+			f.seqOrder = f.seqOrder[1:]
+		}
+	}
+	f.seqOff[seq] = offset
+}
+
+// lookupSeq returns the offset a sequence number was applied at, if it is
+// still in the dedupe window.
+func (f *fileState) lookupSeq(seq uint64) (int64, bool) {
+	if seq == 0 {
+		return 0, false
+	}
+	f.seqMu.Lock()
+	defer f.seqMu.Unlock()
+	off, ok := f.seqOff[seq]
+	return off, ok
 }
 
 func (f *fileState) localSize() int64 {

@@ -132,6 +132,17 @@ type Config struct {
 	// MultiReplica enables §4.3 parallel multi-replica reads
 	// (Mayflower scheme only).
 	MultiReplica bool
+	// WriteFraction is the fraction of jobs that are appends instead of
+	// reads (0 = the paper's read-only workload, leaving every read
+	// figure unchanged). A write job moves the payload from the client
+	// to the file's primary and then fans the replication out from the
+	// primary to the remaining replicas; under the Mayflower path
+	// schemes every hop is registered with the Flowserver, and the
+	// replication order comes from SelectWritePipeline's cost estimates
+	// (§3.3). Whether a given job writes is a pure hash of (Seed, job
+	// ID), so the decision is identical across schemes and worker
+	// counts.
+	WriteFraction float64
 	// DisableImpactTerm / DisableFreeze are the DESIGN.md ablations.
 	DisableImpactTerm bool
 	DisableFreeze     bool
@@ -216,6 +227,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: WarmupJobs %d out of range for %d jobs", c.WarmupJobs, c.NumJobs)
 	case c.StatsInterval <= 0:
 		return fmt.Errorf("experiment: StatsInterval must be > 0, got %g", c.StatsInterval)
+	case c.WriteFraction < 0 || c.WriteFraction > 1:
+		return fmt.Errorf("experiment: WriteFraction must be in [0, 1], got %g", c.WriteFraction)
 	case c.Trials < 0:
 		return fmt.Errorf("experiment: Trials must be >= 0, got %d", c.Trials)
 	case c.Workers < 0:
@@ -239,6 +252,9 @@ type Result struct {
 	// LocalJobs counts jobs whose chosen replica was co-located with the
 	// client (zero network time).
 	LocalJobs int
+	// WriteJobs counts measured jobs that ran as appends (see
+	// Config.WriteFraction).
+	WriteJobs int
 	// Summary aggregates CompletionTimes.
 	Summary stats.Summary
 	// Drift is the flow-model drift audit for schemes that ran a
@@ -315,6 +331,7 @@ func Run(cfg Config) (*Result, error) {
 	r.jobsSkipped = reg.Counter("experiment.jobs_skipped")
 	r.jobsLocal = reg.Counter("experiment.jobs_local")
 	r.jobsSplit = reg.Counter("experiment.jobs_split")
+	r.jobsWrite = reg.Counter("experiment.jobs_write")
 	r.setupPolicies()
 	r.scheduleJobs(jobs)
 	if cfg.BackgroundLoad > 0 && len(jobs) > 0 {
@@ -388,6 +405,7 @@ type runner struct {
 	jobsSkipped   *obs.Counter
 	jobsLocal     *obs.Counter
 	jobsSplit     *obs.Counter
+	jobsWrite     *obs.Counter
 	completed     int // jobs finished, for the progress line
 
 	skipped int // failed selections (should stay zero)
@@ -542,6 +560,10 @@ func (r *runner) FlowStats() []flowserver.FlowStat {
 // startJob performs replica/path selection for one job and launches its
 // flow(s) on the fabric.
 func (r *runner) startJob(job workload.Job) {
+	if r.isWriteJob(job.ID) {
+		r.startWriteJob(job)
+		return
+	}
 	file := &r.cat.Files[job.FileIndex]
 	measured := job.ID >= r.cfg.WarmupJobs
 	r.jobsStarted.Inc()

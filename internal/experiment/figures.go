@@ -399,6 +399,35 @@ func BackgroundSweep(base Config, loads []float64) (*Series, error) {
 	return assembleSeries(sw, "background-load", base.Locality)
 }
 
+// Figure9 is the write-workload figure: completion times as the fraction
+// of append jobs grows from a read-only trace to write-heavy mixes.
+// Mayflower schedules every write hop (ingest plus the SelectWritePipeline
+// replication fan-out); Sinbad-R Mayflower schedules the same hops but
+// picks replicas by utilization for its reads; Nearest ECMP is the
+// unscheduled baseline whose write hops take hashed paths in static
+// replica order.
+func Figure9(base Config) (*Series, error) {
+	return WriteFractionSweep(base, nil)
+}
+
+// WriteFractionSweep runs the Figure 9 sweep over an explicit list of
+// write fractions (nil: 0, 0.25, 0.5, 0.75, 1).
+func WriteFractionSweep(base Config, fracs []float64) (*Series, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.25, 0.5, 0.75, 1}
+	}
+	sw := NewSweep(base)
+	for _, frac := range fracs {
+		for _, s := range []Scheme{SchemeMayflower, SchemeSinbadRMayflower, SchemeNearestECMP} {
+			cfg := base
+			cfg.Scheme = s
+			cfg.WriteFraction = frac
+			sw.AddPoint("write-mix", frac, cfg)
+		}
+	}
+	return assembleSeries(sw, "write-mix", base.Locality)
+}
+
 // PollSweep measures Mayflower's sensitivity to the switch stats-polling
 // interval.
 func PollSweep(base Config, intervals []float64) (*Series, error) {

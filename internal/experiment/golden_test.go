@@ -108,6 +108,54 @@ func TestGoldenFigure7(t *testing.T) {
 	checkGolden(t, "figure7.csv.golden", csv.Bytes())
 }
 
+// TestGoldenFigure9 pins a reduced Figure 9 write-fraction series: the
+// write-path model (ingest hop + SelectWritePipeline replication fan-out)
+// must keep reproducing these bytes for the pinned seed.
+func TestGoldenFigure9(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	sw, err := WriteFractionSweep(cfg, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, csv bytes.Buffer
+	if err := WriteSweep(&txt, sw, "write-frac"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepCSV(&csv, sw, "write-frac"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure9.golden", txt.Bytes())
+	checkGolden(t, "figure9.csv.golden", csv.Bytes())
+}
+
+// TestSweepFigure9WorkerInvariance checks the write sweep renders
+// byte-identical tables sequentially and under -j 8: the write/read coin
+// is a pure hash of (seed, job ID), never of scheduling.
+func TestSweepFigure9WorkerInvariance(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := goldenConfig()
+		cfg.NumJobs = 100
+		cfg.Workers = workers
+		sw, err := WriteFractionSweep(cfg, []float64{0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSweep(&buf, sw, "write-frac"); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSweepCSV(&buf, sw, "write-frac"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, par := run(1), run(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("write sweep differs across worker counts.\n--- workers=1\n%s--- workers=8\n%s", seq, par)
+	}
+}
+
 // TestGoldenTrials pins a two-trial table so the trial-merge path
 // (Student-t over per-trial paired ratios) is golden-covered too.
 func TestGoldenTrials(t *testing.T) {

@@ -86,6 +86,7 @@ const DefaultMaxPollSkew = 5.0
 // holds pointers to these same fields.
 type metrics struct {
 	selections          obs.Counter
+	writeSelections     obs.Counter
 	candidates          obs.Counter
 	multiAccepts        obs.Counter
 	multiRejects        obs.Counter
@@ -103,6 +104,7 @@ type metrics struct {
 // register publishes the metric fields into r under "flowserver." names.
 func (m *metrics) register(r *obs.Registry) {
 	r.RegisterCounter("flowserver.selections", &m.selections)
+	r.RegisterCounter("flowserver.write_selections", &m.writeSelections)
 	r.RegisterCounter("flowserver.candidates_evaluated", &m.candidates)
 	r.RegisterCounter("flowserver.multi_accepts", &m.multiAccepts)
 	r.RegisterCounter("flowserver.multi_rejects", &m.multiRejects)
@@ -122,6 +124,7 @@ func (m *metrics) register(r *obs.Registry) {
 // run start).
 type StatsCounters struct {
 	Selections          int64
+	WriteSelections     int64
 	CandidatesEvaluated int64
 	MultiAccepts        int64
 	MultiRejects        int64
@@ -139,6 +142,7 @@ type StatsCounters struct {
 func (s *Server) Counters() StatsCounters {
 	return StatsCounters{
 		Selections:          s.met.selections.Value(),
+		WriteSelections:     s.met.writeSelections.Value(),
 		CandidatesEvaluated: s.met.candidates.Value(),
 		MultiAccepts:        s.met.multiAccepts.Value(),
 		MultiRejects:        s.met.multiRejects.Value(),
@@ -352,6 +356,77 @@ func (s *Server) SelectPath(client, replica topology.NodeID, bits float64) (Assi
 		return Assignment{}, err
 	}
 	return as[0], nil
+}
+
+// SelectWritePipeline schedules a replication fan-out: one flow of the
+// given size from source to each target, ordered cheapest-first by
+// repeated Eq. 2 evaluation. Each round evaluates every shortest path
+// from the source to every remaining target, commits the minimum-cost
+// one, and re-evaluates the rest against the updated model — so later
+// hops see the bandwidth the earlier hops already claimed. This extends
+// the read-side co-design of Pseudocode 1 to replication traffic (§3.3's
+// "collaboratively with the Flowserver" direction): the primary learns
+// both which replica to stream to first and which path each hop takes.
+//
+// Assignments are returned in the chosen pipeline order. The caller must
+// report each non-local flow's completion with FlowFinished. A target
+// co-located with the source yields a local assignment (no flow).
+func (s *Server) SelectWritePipeline(source topology.NodeID, targets []topology.NodeID, bits float64) ([]Assignment, error) {
+	if len(targets) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if bits < 0 {
+		return nil, fmt.Errorf("flowserver: negative write size %g", bits)
+	}
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met.selections.Inc()
+	s.met.writeSelections.Inc()
+
+	remaining := append([]topology.NodeID(nil), targets...)
+	out := make([]Assignment, 0, len(targets))
+	for len(remaining) > 0 {
+		bestIdx, local := -1, false
+		var best candidate
+		evaluated := int64(0)
+		for i, tgt := range remaining {
+			if tgt == source {
+				// A co-located target costs nothing; it always wins.
+				bestIdx, local = i, true
+				break
+			}
+			for _, path := range s.topo.ShortestPaths(source, tgt) {
+				c := s.evalPath(tgt, path, bits)
+				evaluated++
+				if bestIdx < 0 || c.cost < best.cost {
+					best = c
+					bestIdx = i
+					// Protect the new best's changed set from being
+					// overwritten by the next evaluation.
+					s.evalIdx ^= 1
+				}
+			}
+		}
+		s.met.candidates.Add(evaluated)
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("flowserver: no path from source %d to targets %v", source, remaining)
+		}
+		if local {
+			s.nextID++
+			out = append(out, Assignment{
+				FlowID:      s.nextID,
+				Replica:     source,
+				Bits:        bits,
+				EstimatedBw: math.Inf(1),
+			})
+		} else {
+			out = append(out, s.commit(best, bits))
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	s.met.selectSeconds.Observe(time.Since(start).Seconds())
+	return out, nil
 }
 
 // candidate is a scored replica-path option.

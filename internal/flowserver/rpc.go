@@ -15,8 +15,9 @@ import (
 // Mayflower: any distributed application can pass candidate sources and a
 // transfer size and get back the chosen sources with per-source sizes.
 const (
-	MethodSelect   = "fs.Select"
-	MethodFinished = "fs.Finished"
+	MethodSelect      = "fs.Select"
+	MethodSelectWrite = "fs.SelectWrite"
+	MethodFinished    = "fs.Finished"
 )
 
 // SelectArgs asks for a read assignment. Hosts are topology host names
@@ -35,6 +36,17 @@ type AssignmentDTO struct {
 	EstimatedBw float64 `json:"estimatedBw,omitempty"`
 	Local       bool    `json:"local,omitempty"`
 	PathLen     int     `json:"pathLen"`
+}
+
+// SelectWriteArgs asks for a replication-pipeline schedule: one transfer
+// of Bits bits from SourceHost to every target host, ordered by the
+// Flowserver (see Server.SelectWritePipeline). In the returned
+// assignments ReplicaHost names the *target* of each hop — the flow runs
+// source→target, the reverse of a read assignment.
+type SelectWriteArgs struct {
+	SourceHost  string   `json:"sourceHost"`
+	TargetHosts []string `json:"targetHosts"`
+	Bits        float64  `json:"bits"`
 }
 
 // FinishedArgs reports a completed flow.
@@ -101,6 +113,44 @@ func RegisterRPC(srv *wire.Server, fs *Server, topo *topology.Topology, hooks Ho
 		return out, nil
 	}
 
+	selectWriteHandler := func(_ context.Context, params json.RawMessage) (any, error) {
+		var a SelectWriteArgs
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+		source, ok := hostByName[a.SourceHost]
+		if !ok {
+			return nil, fmt.Errorf("flowserver: unknown source host %q", a.SourceHost)
+		}
+		targets := make([]topology.NodeID, 0, len(a.TargetHosts))
+		for _, name := range a.TargetHosts {
+			h, ok := hostByName[name]
+			if !ok {
+				return nil, fmt.Errorf("flowserver: unknown target host %q", name)
+			}
+			targets = append(targets, h)
+		}
+		as, err := fs.SelectWritePipeline(source, targets, a.Bits)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]AssignmentDTO, 0, len(as))
+		for _, asg := range as {
+			if !asg.Local() && hooks.OnAssign != nil {
+				hooks.OnAssign(asg)
+			}
+			out = append(out, AssignmentDTO{
+				FlowID:      asg.FlowID,
+				ReplicaHost: nameByHost[asg.Replica],
+				Bits:        asg.Bits,
+				EstimatedBw: asg.EstimatedBw,
+				Local:       asg.Local(),
+				PathLen:     len(asg.Path),
+			})
+		}
+		return out, nil
+	}
+
 	finishedHandler := func(_ context.Context, params json.RawMessage) (any, error) {
 		var a FinishedArgs
 		if err := json.Unmarshal(params, &a); err != nil {
@@ -114,6 +164,9 @@ func RegisterRPC(srv *wire.Server, fs *Server, topo *topology.Topology, hooks Ho
 	}
 
 	if err := srv.Register(MethodSelect, selectHandler); err != nil {
+		return err
+	}
+	if err := srv.Register(MethodSelectWrite, selectWriteHandler); err != nil {
 		return err
 	}
 	return srv.Register(MethodFinished, finishedHandler)
@@ -152,6 +205,15 @@ func (c *RPCClient) Close() error { return c.c.Close() }
 func (c *RPCClient) Select(ctx context.Context, args SelectArgs) ([]AssignmentDTO, error) {
 	var out []AssignmentDTO
 	if err := c.c.Call(ctx, MethodSelect, args, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SelectWrite asks the Flowserver to order a replication pipeline.
+func (c *RPCClient) SelectWrite(ctx context.Context, args SelectWriteArgs) ([]AssignmentDTO, error) {
+	var out []AssignmentDTO
+	if err := c.c.Call(ctx, MethodSelectWrite, args, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -111,11 +111,12 @@ type Service struct {
 	store *kvstore.Store
 	rng   *rand.Rand
 
-	mu       sync.Mutex
-	files    map[string]FileInfo   // name → info
-	servers  map[string]ServerInfo // id → info
-	lastBeat map[string]time.Time  // id → last heartbeat (in-memory only)
-	scorer   PlacementScorer
+	mu        sync.Mutex
+	files     map[string]FileInfo   // name → info
+	servers   map[string]ServerInfo // id → info
+	lastBeat  map[string]time.Time  // id → last heartbeat (in-memory only)
+	scorer    PlacementScorer
+	deadAfter time.Duration // placement skips servers silent this long (0 = no filter)
 }
 
 const (
@@ -163,6 +164,19 @@ func (s *Service) SetPlacementScorer(sc PlacementScorer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.scorer = sc
+}
+
+// SetPlacementLiveness makes new-file placement skip servers whose last
+// heartbeat is older than deadAfter (0 restores the default: every
+// registered server is a candidate). Use the same horizon the repair
+// monitor declares death at, so a server repair considers dead never
+// receives a fresh file's replica — the client's Prepare to it would
+// only fail the whole create. Explicitly pinned replica sets
+// (CreateOptions.PreferredReplicas) are not filtered.
+func (s *Service) SetPlacementLiveness(deadAfter time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deadAfter = deadAfter
 }
 
 // RegisterServer adds (or refreshes) a dataserver.
@@ -418,12 +432,21 @@ func (s *Service) pinnedLocked(ids []string) ([]ReplicaLoc, error) {
 // in the primary's rack, and further replicas in other randomly selected
 // racks. Caller must hold s.mu.
 func (s *Service) placeLocked(n int) ([]ReplicaLoc, error) {
-	if len(s.servers) < n {
-		return nil, fmt.Errorf("%w: need %d, have %d", ErrNoDataservers, n, len(s.servers))
-	}
 	ids := make([]string, 0, len(s.servers))
 	for id := range s.servers {
+		if s.deadAfter > 0 {
+			// Liveness filter: a server the repair horizon considers dead
+			// must not receive new replicas (its Prepare would fail the
+			// create). Servers restored from the store without a beat yet
+			// have no entry and stay eligible, matching DeadServers.
+			if beat, ok := s.lastBeat[id]; ok && time.Since(beat) > s.deadAfter {
+				continue
+			}
+		}
 		ids = append(ids, id)
+	}
+	if len(ids) < n {
+		return nil, fmt.Errorf("%w: need %d, have %d live", ErrNoDataservers, n, len(ids))
 	}
 	sort.Strings(ids)
 

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"testing"
+	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
@@ -119,6 +120,57 @@ func TestCreateWithoutServers(t *testing.T) {
 	svc := newService(t, t.TempDir())
 	if _, err := svc.Create("x", CreateOptions{}); !errors.Is(err, ErrNoDataservers) {
 		t.Errorf("err = %v, want ErrNoDataservers", err)
+	}
+}
+
+// TestPlacementSkipsDeadServers pins the liveness filter: with
+// SetPlacementLiveness on, a server whose heartbeat has gone stale past
+// the horizon never receives a new file's replica, and placement that
+// cannot find enough live servers fails rather than handing out dead
+// ones. Explicitly pinned replica sets stay unfiltered.
+func TestPlacementSkipsDeadServers(t *testing.T) {
+	svc := newService(t, t.TempDir())
+	for i := 0; i < 4; i++ {
+		err := svc.RegisterServer(ServerInfo{
+			ID:          fmt.Sprintf("ds-%d", i),
+			ControlAddr: fmt.Sprintf("10.0.0.%d:7000", i),
+			DataAddr:    fmt.Sprintf("10.0.0.%d:7001", i),
+			Host:        fmt.Sprintf("host-p0-r%d-h0", i),
+			Rack:        i,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.SetPlacementLiveness(time.Minute)
+	svc.mu.Lock()
+	svc.lastBeat["ds-0"] = time.Now().Add(-2 * time.Minute) // silent past the horizon
+	svc.mu.Unlock()
+
+	for i := 0; i < 20; i++ {
+		fi, err := svc.Create(fmt.Sprintf("live-%d", i), CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range fi.Replicas {
+			if r.ServerID == "ds-0" {
+				t.Fatalf("file %s placed on dead server ds-0", fi.Name)
+			}
+		}
+	}
+	if _, err := svc.Create("impossible", CreateOptions{Replication: 4}); !errors.Is(err, ErrNoDataservers) {
+		t.Fatalf("replication 4 with 3 live servers: err = %v, want ErrNoDataservers", err)
+	}
+	// An explicit pin may still name the dead server — the caller asked.
+	fi, err := svc.Create("pinned", CreateOptions{
+		Replication:       2,
+		PreferredReplicas: []string{"ds-0", "ds-1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Replicas[0].ServerID != "ds-0" {
+		t.Fatalf("pinned primary = %s, want ds-0", fi.Replicas[0].ServerID)
 	}
 }
 

@@ -330,6 +330,9 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 			Rack:              node.Rack,
 			Pacer:             c.Net,
 			HeartbeatInterval: cfg.HeartbeatInterval,
+			// Empty for the ECMP modes: relays fall back to static order,
+			// the conventional unscheduled write path.
+			FlowserverAddr: c.fsAddr,
 		})
 		if err != nil {
 			return err

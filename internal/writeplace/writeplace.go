@@ -12,6 +12,12 @@
 // behind congested downlinks or aggregation links score low and are
 // avoided, while the nameserver's fault-domain constraints (distinct
 // racks, pod spreading) continue to apply unchanged.
+//
+// Since the write path became network-scheduled, the estimate reflects
+// write traffic too: clients register append ingest flows and primaries
+// register replication fan-out flows with the Flowserver, so
+// EstimateIngressShare sees in-flight writes on a candidate's downlinks,
+// not just reads.
 package writeplace
 
 import (
