@@ -46,12 +46,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzAllocate -fuzztime=30s ./internal/maxmin
 	$(GO) test -fuzz=FuzzSharesWithNewFlow -fuzztime=30s ./internal/maxmin
 
-# bench runs the hot-path selection/churn/replication benchmarks and
+# bench runs the hot-path selection/churn/replication/RPC benchmarks and
 # records the result in BENCH_selection.json, the committed performance
-# baseline for the incremental allocator and the write path.
+# baseline for the incremental allocator, the write path, and the
+# control-plane session layer.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc \
 		| $(GO) run ./cmd/bench2json > BENCH_selection.json
 	@cat BENCH_selection.json
 
@@ -62,8 +63,8 @@ bench:
 # warm-up allocations tip the allocs/op average. CI's bench-smoke job
 # runs this.
 bench-check:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc \
 		| $(GO) run ./cmd/bench2json -compare BENCH_selection.json -max-regress 0.20
 
 check: build vet fmt-check race

@@ -45,6 +45,13 @@ func run(args []string) error {
 		return fmt.Errorf("-id and -host are required")
 	}
 
+	// The registry must exist before New so the server's control-plane
+	// peer pool can publish its per-peer RPC counters into it.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+	}
 	srv, err := dataserver.New(dataserver.Config{
 		ID:             *id,
 		Root:           *root,
@@ -53,6 +60,7 @@ func run(args []string) error {
 		Rack:           *rack,
 		FlowserverAddr: *fsrvAddr,
 		Logger:         log.Default(),
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
@@ -70,8 +78,6 @@ func run(args []string) error {
 		return err
 	}
 	if *debugAddr != "" {
-		reg := obs.NewRegistry()
-		obs.RegisterRuntimeMetrics(reg)
 		dbg, bound, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
 			srv.Close()

@@ -26,7 +26,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/client"
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
-	"github.com/mayflower-dfs/mayflower/internal/wire"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 )
 
 func main() {
@@ -177,26 +177,16 @@ func run(args []string, out io.Writer) error {
 // scrub asks every registered dataserver to verify its chunk checksums
 // and prints any faults.
 func scrub(ctx context.Context, nsAddr string, out io.Writer) error {
-	ns, err := nameserver.Dial(nsAddr)
-	if err != nil {
-		return err
-	}
-	defer ns.Close()
+	pool := rpc.NewPool(rpc.Options{})
+	defer pool.Close()
+	ns := nameserver.NewClient(pool.Peer(nsAddr))
 	servers, err := ns.Servers(ctx)
 	if err != nil {
 		return err
 	}
 	total := 0
 	for _, si := range servers {
-		cc, err := wire.Dial(si.ControlAddr)
-		if err != nil {
-			fmt.Fprintf(out, "%-8s unreachable: %v\n", si.ID, err)
-			total++
-			continue
-		}
-		var faults []dataserver.ChunkFault
-		err = cc.Call(ctx, dataserver.MethodScrub, struct{}{}, &faults)
-		cc.Close()
+		faults, err := dataserver.NewClient(pool.Peer(si.ControlAddr)).Scrub(ctx)
 		if err != nil {
 			fmt.Fprintf(out, "%-8s scrub failed: %v\n", si.ID, err)
 			total++

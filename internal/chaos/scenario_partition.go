@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/client"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/testbed"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -48,12 +49,14 @@ func (p *partition) dialData(ctx context.Context, addr string) (net.Conn, error)
 	return d.DialContext(ctx, "tcp", addr)
 }
 
-// dialControl is a client DialControl hook honoring the partition.
-func (p *partition) dialControl(addr string) (*wire.Client, error) {
+// dialControl is a client DialControl hook honoring the partition: it
+// feeds the client's session pool, so severed sessions re-enter here on
+// the pool's reconnect and fail while the partition is active.
+func (p *partition) dialControl(ctx context.Context, addr string) (*wire.Client, error) {
 	if p.cut(addr) {
 		return nil, errPartitioned
 	}
-	c, err := wire.DialTimeout(addr, 5*time.Second)
+	c, err := rpc.DialSession(ctx, addr)
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
 	"github.com/mayflower-dfs/mayflower/internal/obs"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -82,10 +83,11 @@ type Options struct {
 	// flows a paced path). It returns the flow id to tag the read with
 	// and a cleanup callback invoked when the read finishes.
 	AssignFlow func(replicaHost string, bytes int64) (flowID uint64, done func())
-	// DialControl opens dataserver control connections; a bounded-dial
-	// wire.DialTimeout if nil. Fault-injection harnesses substitute a
-	// partition-aware dialer here.
-	DialControl func(addr string) (*wire.Client, error)
+	// DialControl opens the sessions behind the client's control-plane
+	// peer pool (nameserver, flowserver and dataserver alike);
+	// rpc.DialSession with a bounded connect if nil. Fault-injection
+	// harnesses substitute a partition-aware dialer here.
+	DialControl func(ctx context.Context, addr string) (*wire.Client, error)
 	// ReadTimeout bounds each per-replica read attempt (2 min if zero,
 	// <0 disables). On expiry the read fails over to the next candidate
 	// instead of hanging on a stalled or partitioned replica.
@@ -167,15 +169,16 @@ type cacheEntry struct {
 // Client is a Mayflower filesystem client. It is safe for concurrent use.
 type Client struct {
 	opts Options
+	pool *rpc.Pool // one shared session per control-plane address
 	ns   *nameserver.Client
 	fs   *flowserver.RPCClient
 
 	mu    sync.Mutex
 	cache map[string]cacheEntry
-	ctl   map[string]*wire.Client // dataserver control connections
 	rng   *rand.Rand
 
-	met clientMetrics
+	met   clientMetrics
+	retry rpc.Backoff
 }
 
 // New connects a client.
@@ -193,11 +196,6 @@ func New(opts Options) (*Client, error) {
 		opts.DialData = func(ctx context.Context, addr string) (net.Conn, error) {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
-		}
-	}
-	if opts.DialControl == nil {
-		opts.DialControl = func(addr string) (*wire.Client, error) {
-			return wire.DialTimeout(addr, 5*time.Second)
 		}
 	}
 	if opts.ReadTimeout == 0 {
@@ -226,76 +224,54 @@ func New(opts Options) (*Client, error) {
 		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 
-	ns, err := nameserver.DialTimeout(opts.NameserverAddr, 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
+	pool := rpc.NewPool(rpc.Options{
+		ConnectTimeout: 5 * time.Second,
+		Dial:           opts.DialControl,
+		Backoff:        rpc.Backoff{Base: opts.RetryBackoff},
+		Metrics:        opts.Metrics,
+		MetricsPrefix:  "client.rpc",
+	})
 	c := &Client{
 		opts:  opts,
-		ns:    ns,
+		pool:  pool,
+		ns:    nameserver.NewClient(pool.Peer(opts.NameserverAddr)),
 		cache: make(map[string]cacheEntry),
-		ctl:   make(map[string]*wire.Client),
 		rng:   rng,
+		retry: rpc.Backoff{Base: opts.RetryBackoff},
+	}
+	// Fail fast on a misconfigured nameserver address; the pool re-dials
+	// on its own from here on.
+	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err := pool.Peer(opts.NameserverAddr).Connect(cctx)
+	cancel()
+	if err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("client: connect nameserver: %w", err)
 	}
 	c.met.backoffSeconds = obs.NewHistogram(1e-4, 10)
 	if opts.Metrics != nil {
 		c.met.register(opts.Metrics)
 	}
 	if opts.FlowserverAddr != "" {
-		// The Flowserver is an optimizer, not a dependency: if it is
-		// unreachable the client starts without it and reads fall back
-		// to locality-ordered replica selection.
-		if fs, err := flowserver.DialRPCTimeout(opts.FlowserverAddr, 5*time.Second); err == nil {
-			c.fs = fs
-		}
+		// The Flowserver is an optimizer, not a dependency: its peer dials
+		// lazily and every Select is bounded by FlowserverTimeout, so an
+		// unreachable Flowserver degrades reads to locality-order replica
+		// selection instead of failing them.
+		c.fs = flowserver.NewRPCClient(pool.Peer(opts.FlowserverAddr))
 	}
 	return c, nil
 }
 
-// Close tears down every connection.
+// Close tears down every pooled control connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	ctl := make([]*wire.Client, 0, len(c.ctl))
-	for _, cc := range c.ctl {
-		ctl = append(ctl, cc)
-	}
-	c.ctl = make(map[string]*wire.Client)
-	c.mu.Unlock()
-
-	err := c.ns.Close()
-	if c.fs != nil {
-		if ferr := c.fs.Close(); err == nil {
-			err = ferr
-		}
-	}
-	for _, cc := range ctl {
-		cc.Close()
-	}
-	return err
+	return c.pool.Close()
 }
 
-// control returns (dialing if needed) a control client for a dataserver.
-func (c *Client) control(addr string) (*wire.Client, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cc, ok := c.ctl[addr]; ok {
-		return cc, nil
-	}
-	cc, err := c.opts.DialControl(addr)
-	if err != nil {
-		return nil, err
-	}
-	c.ctl[addr] = cc
-	return cc, nil
-}
-
-func (c *Client) dropControl(addr string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cc, ok := c.ctl[addr]; ok {
-		delete(c.ctl, addr)
-		cc.Close()
-	}
+// control returns the typed control stub for a dataserver, backed by the
+// pool's shared session for that address (dialed lazily, replaced
+// automatically when it dies).
+func (c *Client) control(addr string) *dataserver.Client {
+	return dataserver.NewClient(c.pool.Peer(addr))
 }
 
 // fileInfo returns (possibly cached) metadata for a file.
@@ -352,15 +328,10 @@ func (c *Client) Create(ctx context.Context, name string, opts nameserver.Create
 		return nameserver.FileInfo{}, err
 	}
 	prepare := func() error {
-		cc, err := c.control(info.Primary().ControlAddr)
-		if err != nil {
-			return err
-		}
-		var out struct{}
 		pctx, pcancel := c.rpcCtx(ctx)
 		defer pcancel()
-		return cc.Call(pctx, dataserver.MethodPrepare,
-			dataserver.PrepareArgs{Info: info, Relay: true}, &out)
+		return c.control(info.Primary().ControlAddr).
+			Prepare(pctx, dataserver.PrepareArgs{Info: info, Relay: true})
 	}
 	if err := prepare(); err != nil {
 		// The nameserver installed the file before Prepare ran; without
@@ -482,17 +453,8 @@ func (c *Client) Delete(ctx context.Context, name string) error {
 	c.invalidate(name)
 	var firstErr error
 	for _, rep := range info.Replicas {
-		cc, err := c.control(rep.ControlAddr)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		var out struct{}
 		cctx, ccancel := c.rpcCtx(ctx)
-		err = cc.Call(cctx, dataserver.MethodDelete,
-			dataserver.FileIDArgs{FileID: info.ID}, &out)
+		err := c.control(rep.ControlAddr).Delete(cctx, info.ID)
 		ccancel()
 		if err != nil && firstErr == nil {
 			firstErr = err

@@ -15,6 +15,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -211,10 +212,7 @@ func TestCreateAppendReadDelete(t *testing.T) {
 	// Every dataserver dropped the chunks.
 	for host, ds := range tc.servers {
 		_ = host
-		cc, err := wire.Dial(ds.ControlAddr())
-		if err != nil {
-			t.Fatal(err)
-		}
+		cc := rpc.NewPeer(ds.ControlAddr(), rpc.Options{})
 		var recs []nameserver.FileRecord
 		if err := cc.Call(ctx, dataserver.MethodListFiles, struct{}{}, &recs); err != nil {
 			t.Fatal(err)

@@ -7,7 +7,6 @@ import (
 	"sort"
 	"time"
 
-	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
 )
 
@@ -151,48 +150,12 @@ func (c *Client) readAttempt(ctx context.Context, name string, info nameserver.F
 }
 
 // backoff sleeps the exponential retry delay for the given pass (1-based),
-// aborting early if ctx is done.
+// aborting early if ctx is done. The policy is the control plane's shared
+// rpc.Backoff — the same curve the session layer uses between reconnects.
 func (c *Client) backoff(ctx context.Context, pass int) error {
-	d := backoffDelay(c.opts.RetryBackoff, pass)
 	start := time.Now()
 	defer func() { c.met.backoffSeconds.Observe(time.Since(start).Seconds()) }()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-time.After(d):
-		return nil
-	}
-}
-
-// maxBackoff caps the delay between failover passes: past a couple of
-// seconds more waiting only delays the error the application will see.
-const maxBackoff = 2 * time.Second
-
-// backoffDelay computes the exponential delay for a 1-based retry pass,
-// saturating at maxBackoff. The exponent is clamped before shifting:
-// base << (pass-1) overflows int64 once pass exceeds ~62, flipping the
-// duration negative and turning backoff into a hot retry loop
-// (time.After fires immediately on non-positive durations).
-func backoffDelay(base time.Duration, pass int) time.Duration {
-	if base <= 0 {
-		return 0
-	}
-	if base >= maxBackoff {
-		return maxBackoff
-	}
-	shift := pass - 1
-	if shift < 0 {
-		shift = 0
-	}
-	// base < 2s < 2^31 ns, so any shift past 31 saturates without ever
-	// being computed (31 + 31 < 63 bits: no overflow below the clamp).
-	if shift > 31 {
-		return maxBackoff
-	}
-	if d := base << uint(shift); d > 0 && d < maxBackoff {
-		return d
-	}
-	return maxBackoff
+	return c.retry.Sleep(ctx, pass)
 }
 
 // statReplicas asks the primary, then the remaining replicas in order, for
@@ -202,17 +165,10 @@ func backoffDelay(base time.Duration, pass int) time.Duration {
 func (c *Client) statReplicas(ctx context.Context, info nameserver.FileInfo) (int64, error) {
 	var errs []error
 	for _, rep := range info.Replicas {
-		cc, err := c.control(rep.ControlAddr)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("client: dial %s: %w", rep.ServerID, err))
-			continue
-		}
-		var st dataserver.StatReply
 		sctx, cancel := c.rpcCtx(ctx)
-		err = cc.Call(sctx, dataserver.MethodStat, dataserver.FileIDArgs{FileID: info.ID}, &st)
+		st, err := c.control(rep.ControlAddr).Stat(sctx, info.ID)
 		cancel()
 		if err != nil {
-			c.dropControl(rep.ControlAddr)
 			errs = append(errs, fmt.Errorf("client: stat on %s: %w", rep.ServerID, err))
 			if ctx.Err() != nil {
 				break

@@ -63,10 +63,9 @@ func (c *Client) appendPiece(ctx context.Context, name string, info nameserver.F
 			return reply.SizeBytes, info, nil
 		}
 		c.met.appendAttemptsErr.Inc()
-		// The primary may be dead: drop the cached control connection and
-		// metadata so the retry re-resolves both instead of re-dialing a
-		// corpse from the stale cache.
-		c.dropControl(info.Primary().ControlAddr)
+		// The primary may be dead: drop the cached metadata so the retry
+		// re-resolves it (the session pool already discards the dead
+		// connection itself).
 		c.invalidate(name)
 		errs = append(errs, err)
 		if ctx.Err() != nil {
@@ -80,23 +79,17 @@ func (c *Client) appendPiece(ctx context.Context, name string, info nameserver.F
 func (c *Client) appendAttempt(ctx context.Context, name string, info nameserver.FileInfo,
 	seq uint64, piece []byte) (dataserver.AppendReply, error) {
 
-	cc, err := c.control(info.Primary().ControlAddr)
-	if err != nil {
-		return dataserver.AppendReply{}, err
-	}
 	// Deliberately the caller's ctx, not rpcCtx: this RPC carries up to
 	// MaxAppend of bulk data plus the replication relay, so the metadata
 	// RPCTimeout would cut off large pieces on slow links. A dead primary
 	// still fails fast (connection error), which is what the retry loop
 	// keys on.
-	var reply dataserver.AppendReply
-	err = cc.Call(ctx, dataserver.MethodAppend, dataserver.AppendArgs{
+	return c.control(info.Primary().ControlAddr).Append(ctx, dataserver.AppendArgs{
 		FileID: info.ID,
 		Name:   name,
 		Data:   piece,
 		Seq:    seq,
-	}, &reply)
-	return reply, err
+	})
 }
 
 // writeFlow tracks the control-plane registration of one append's

@@ -8,12 +8,13 @@ import (
 
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/uuid"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
-func statSize(t *testing.T, cc *wire.Client, c *cluster) int64 {
+func statSize(t *testing.T, cc *rpc.Peer, c *cluster) int64 {
 	t.Helper()
 	var st StatReply
 	if err := cc.Call(context.Background(), MethodStat, FileIDArgs{FileID: c.info.ID}, &st); err != nil {
@@ -173,10 +174,7 @@ func startScheduledCluster(t *testing.T, fsAddr string, hosts []string) *cluster
 			DataAddr:    s.DataAddr(),
 			Host:        host,
 		})
-		cc, err := wire.Dial(s.ControlAddr())
-		if err != nil {
-			t.Fatal(err)
-		}
+		cc := rpc.NewPeer(s.ControlAddr(), rpc.Options{})
 		t.Cleanup(func() { cc.Close() })
 		c.ctl = append(c.ctl, cc)
 	}

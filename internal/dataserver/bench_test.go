@@ -7,8 +7,8 @@ import (
 	"testing"
 
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/uuid"
-	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
 // BenchmarkAppendReplicated measures the primary's full append path over
@@ -49,10 +49,7 @@ func BenchmarkAppendReplicated(b *testing.B) {
 		ChunkSize: 1 << 20,
 		Replicas:  replicas,
 	}
-	cc, err := wire.Dial(servers[0].ControlAddr())
-	if err != nil {
-		b.Fatal(err)
-	}
+	cc := rpc.NewPeer(servers[0].ControlAddr(), rpc.Options{})
 	defer cc.Close()
 	var out struct{}
 	if err := cc.Call(context.Background(), MethodPrepare, PrepareArgs{Info: info, Relay: true}, &out); err != nil {

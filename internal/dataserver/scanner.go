@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
-	"github.com/mayflower-dfs/mayflower/internal/wire"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 )
 
 // RPCScanner implements nameserver.Scanner over the dataserver control
@@ -13,25 +13,25 @@ import (
 // rebuild its mappings "by scanning the file metadata stored at the
 // dataservers" instead of trusting its possibly stale database (§3.3.1).
 type RPCScanner struct {
-	// Dial opens control connections; wire.Dial when nil.
-	Dial func(addr string) (*wire.Client, error)
+	// Pool supplies the control sessions; a private pool with default
+	// options when nil (each scan then dials and closes its own peer).
+	Pool *rpc.Pool
 }
 
 var _ nameserver.Scanner = (*RPCScanner)(nil)
 
 // ScanFiles lists the files stored on one dataserver.
 func (s *RPCScanner) ScanFiles(ctx context.Context, si nameserver.ServerInfo) ([]nameserver.FileRecord, error) {
-	dial := s.Dial
-	if dial == nil {
-		dial = wire.Dial
+	var caller rpc.Caller
+	if s.Pool != nil {
+		caller = s.Pool.Peer(si.ControlAddr)
+	} else {
+		peer := rpc.NewPeer(si.ControlAddr, rpc.Options{})
+		defer peer.Close()
+		caller = peer
 	}
-	c, err := dial(si.ControlAddr)
+	recs, err := NewClient(caller).ListFiles(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("dataserver: scan %s: %w", si.ID, err)
-	}
-	defer c.Close()
-	var recs []nameserver.FileRecord
-	if err := c.Call(ctx, MethodListFiles, struct{}{}, &recs); err != nil {
 		return nil, fmt.Errorf("dataserver: scan %s: %w", si.ID, err)
 	}
 	return recs, nil

@@ -16,6 +16,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
 	"github.com/mayflower-dfs/mayflower/internal/obs"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/uuid"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -73,6 +74,9 @@ type Config struct {
 	// each relay hop as a scheduled flow. Empty keeps the static replica
 	// order with no flow registration.
 	FlowserverAddr string
+	// ConnectTimeout bounds each control-plane TCP connect (nameserver,
+	// flowserver, replica peers); rpc.DefaultConnectTimeout if zero.
+	ConnectTimeout time.Duration
 	// Metrics optionally publishes the server's write-path counters under
 	// "dataserver.<ID>." names. Instrumentation is always on.
 	Metrics *obs.Registry
@@ -122,14 +126,15 @@ type Server struct {
 	cfg   Config
 	store *storage
 	ctl   *wire.Server
+	pool  *rpc.Pool // all outbound control sessions (ns, fs, peers)
+	fsc   *flowserver.RPCClient
 
 	mu        sync.Mutex
 	dataLn    net.Listener
 	ctlAddr   string
 	dataAddr  string
 	ns        *nameserver.Client
-	peers     map[string]*wire.Client
-	fsc       *flowserver.RPCClient
+	nsPeer    *rpc.Peer
 	dataConns map[net.Conn]struct{}
 	closed    bool
 	wg        sync.WaitGroup
@@ -154,12 +159,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:       cfg,
-		store:     st,
-		ctl:       wire.NewServer(),
-		peers:     make(map[string]*wire.Client),
+		cfg:   cfg,
+		store: st,
+		ctl:   wire.NewServer(),
+		pool: rpc.NewPool(rpc.Options{
+			ConnectTimeout: cfg.ConnectTimeout,
+			Metrics:        cfg.Metrics,
+			MetricsPrefix:  "dataserver." + cfg.ID + ".rpc",
+		}),
 		dataConns: make(map[net.Conn]struct{}),
 		beatStop:  make(chan struct{}),
+	}
+	if cfg.FlowserverAddr != "" {
+		s.fsc = flowserver.NewRPCClient(s.pool.Peer(cfg.FlowserverAddr))
 	}
 	if cfg.Metrics != nil {
 		s.met.register(cfg.Metrics, cfg.ID)
@@ -200,12 +212,11 @@ func (s *Server) Start(ctlLn, dataLn net.Listener, nsAddr string) error {
 	if nsAddr == "" {
 		return nil
 	}
-	ns, err := nameserver.Dial(nsAddr)
-	if err != nil {
-		return fmt.Errorf("dataserver: nameserver dial: %w", err)
-	}
+	peer := s.pool.Peer(nsAddr)
+	ns := nameserver.NewClient(peer)
 	s.mu.Lock()
 	s.ns = ns
+	s.nsPeer = peer
 	s.mu.Unlock()
 	info := nameserver.ServerInfo{
 		ID:          s.cfg.ID,
@@ -218,22 +229,26 @@ func (s *Server) Start(ctlLn, dataLn net.Listener, nsAddr string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := ns.Register(ctx, info); err != nil {
-		return err
+		return fmt.Errorf("dataserver: nameserver register: %w", err)
 	}
 
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.heartbeatLoop(nsAddr, info)
+		s.heartbeatLoop(peer, ns, info)
 	}()
 	return nil
 }
 
-// heartbeatLoop reports liveness until the server closes. A failed
-// heartbeat tears the connection down; the next tick redials and
-// re-registers, so a restarted nameserver relearns this server instead
-// of declaring it dead forever.
-func (s *Server) heartbeatLoop(nsAddr string, info nameserver.ServerInfo) {
+// heartbeatLoop reports liveness until the server closes. The pooled
+// peer redials on its own; what this loop owns is the connection-scoped
+// server state on top of it: registration with the nameserver is bound
+// to the peer's dial epoch, so after any reconnect (a restarted
+// nameserver, a severed link) the server re-registers before heartbeating
+// — a restarted nameserver relearns this server instead of declaring it
+// dead forever.
+func (s *Server) heartbeatLoop(peer *rpc.Peer, ns *nameserver.Client, info nameserver.ServerInfo) {
+	registered := peer.Epoch()
 	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
 	defer ticker.Stop()
 	for {
@@ -242,44 +257,22 @@ func (s *Server) heartbeatLoop(nsAddr string, info nameserver.ServerInfo) {
 			return
 		case <-ticker.C:
 		}
-		s.mu.Lock()
-		ns := s.ns
-		s.mu.Unlock()
-		if ns == nil {
-			c, err := nameserver.DialTimeout(nsAddr, s.cfg.HeartbeatInterval)
-			if err != nil {
-				s.logf("dataserver %s: nameserver redial: %v", s.cfg.ID, err)
-				continue
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
-			err = c.Register(ctx, info)
-			cancel()
-			if err != nil {
-				s.logf("dataserver %s: re-register: %v", s.cfg.ID, err)
-				c.Close()
-				continue
-			}
-			s.mu.Lock()
-			if s.closed {
-				s.mu.Unlock()
-				c.Close()
-				return
-			}
-			s.ns = c
-			s.mu.Unlock()
-			ns = c
-		}
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
+		if e := peer.Epoch(); e != registered {
+			if err := ns.Register(ctx, info); err != nil {
+				s.logf("dataserver %s: re-register: %v", s.cfg.ID, err)
+				cancel()
+				continue
+			}
+			registered = peer.Epoch()
+		}
 		err := ns.Heartbeat(ctx, s.cfg.ID)
 		cancel()
 		if err != nil {
+			// A heartbeat that rode a transparent reconnect may land on a
+			// restarted nameserver that no longer knows this server; the
+			// epoch check above re-registers on the next tick.
 			s.logf("dataserver %s: heartbeat: %v", s.cfg.ID, err)
-			ns.Close()
-			s.mu.Lock()
-			if s.ns == ns {
-				s.ns = nil
-			}
-			s.mu.Unlock()
 		}
 	}
 }
@@ -307,13 +300,6 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	dataLn := s.dataLn
-	ns := s.ns
-	fsc := s.fsc
-	s.fsc = nil
-	peers := make([]*wire.Client, 0, len(s.peers))
-	for _, p := range s.peers {
-		peers = append(peers, p)
-	}
 	conns := make([]net.Conn, 0, len(s.dataConns))
 	for conn := range s.dataConns {
 		conns = append(conns, conn)
@@ -330,15 +316,7 @@ func (s *Server) Close() error {
 	for _, conn := range conns {
 		conn.Close()
 	}
-	if ns != nil {
-		ns.Close()
-	}
-	if fsc != nil {
-		fsc.Close()
-	}
-	for _, p := range peers {
-		p.Close()
-	}
+	s.pool.Close()
 	s.wg.Wait()
 	return err
 }
@@ -349,31 +327,10 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// peer returns (dialing if needed) a control client for a replica peer.
-func (s *Server) peer(addr string) (*wire.Client, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, errors.New("dataserver: closed")
-	}
-	if c, ok := s.peers[addr]; ok {
-		return c, nil
-	}
-	c, err := wire.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	s.peers[addr] = c
-	return c, nil
-}
-
-func (s *Server) dropPeer(addr string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.peers[addr]; ok {
-		delete(s.peers, addr)
-		c.Close()
-	}
+// peer returns the typed control stub for a replica peer, backed by the
+// pool's shared session for that address.
+func (s *Server) peer(addr string) *Client {
+	return NewClient(s.pool.Peer(addr))
 }
 
 // --- control plane -------------------------------------------------------
@@ -508,8 +465,7 @@ func (s *Server) handlePrepare(ctx context.Context, a PrepareArgs) error {
 		return fmt.Errorf("%w: %s", ErrNotPrimary, s.cfg.ID)
 	}
 	for _, rep := range a.Info.Replicas[1:] {
-		if err := s.callPeer(ctx, rep.ControlAddr, MethodPrepare,
-			PrepareArgs{Info: a.Info}, &struct{}{}); err != nil {
+		if err := s.peer(rep.ControlAddr).Prepare(ctx, PrepareArgs{Info: a.Info}); err != nil {
 			return fmt.Errorf("relay prepare to %s: %w", rep.ServerID, err)
 		}
 	}
@@ -557,8 +513,8 @@ func (s *Server) handleAppend(ctx context.Context, a AppendArgs) (AppendReply, e
 	order, flows := s.planRelay(ctx, info, float64(len(a.Data))*8)
 	var relayErr error
 	for _, rep := range order {
-		if err := s.callPeer(ctx, rep.ControlAddr, MethodAppendAt,
-			AppendAtArgs{FileID: a.FileID, Offset: offset, Data: a.Data, Seq: a.Seq}, &AppendReply{}); err != nil {
+		if _, err := s.peer(rep.ControlAddr).AppendAt(ctx,
+			AppendAtArgs{FileID: a.FileID, Offset: offset, Data: a.Data, Seq: a.Seq}); err != nil {
 			relayErr = fmt.Errorf("relay append to %s: %w", rep.ServerID, err)
 			break
 		}
@@ -598,12 +554,8 @@ func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits f
 	if len(rest) == 0 {
 		return rest, nil
 	}
-	if s.cfg.FlowserverAddr == "" {
-		s.met.relayStatic.Inc()
-		return rest, nil
-	}
-	fsc, err := s.flowserverClient()
-	if err != nil {
+	fsc := s.fsc
+	if fsc == nil {
 		s.met.relayStatic.Inc()
 		return rest, nil
 	}
@@ -621,7 +573,6 @@ func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits f
 		Bits:        bits,
 	})
 	if err != nil {
-		s.dropFlowserver(fsc)
 		s.met.relayStatic.Inc()
 		return rest, nil
 	}
@@ -651,68 +602,16 @@ func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits f
 // finishFlows releases relay flow-table entries on a fresh bounded
 // context (the append's own context may already be expired).
 func (s *Server) finishFlows(flows []flowserver.FlowID) {
-	if len(flows) == 0 {
-		return
-	}
-	fsc, err := s.flowserverClient()
-	if err != nil {
+	if len(flows) == 0 || s.fsc == nil {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), flowserverRPCTimeout)
 	defer cancel()
 	for _, id := range flows {
-		if err := fsc.Finished(ctx, id); err != nil {
-			s.dropFlowserver(fsc)
+		if err := s.fsc.Finished(ctx, id); err != nil {
 			return
 		}
 	}
-}
-
-// flowserverClient returns (dialing if needed) the cached Flowserver
-// control client.
-func (s *Server) flowserverClient() (*flowserver.RPCClient, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, errors.New("dataserver: closed")
-	}
-	if s.fsc != nil {
-		return s.fsc, nil
-	}
-	c, err := flowserver.DialRPCTimeout(s.cfg.FlowserverAddr, flowserverRPCTimeout)
-	if err != nil {
-		return nil, err
-	}
-	s.fsc = c
-	return c, nil
-}
-
-// dropFlowserver discards a failed Flowserver connection so the next
-// append redials.
-func (s *Server) dropFlowserver(c *flowserver.RPCClient) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.fsc == c {
-		s.fsc = nil
-	}
-	c.Close()
-}
-
-func (s *Server) callPeer(ctx context.Context, addr, method string, args, reply any) error {
-	c, err := s.peer(addr)
-	if err != nil {
-		return err
-	}
-	if err := c.Call(ctx, method, args, reply); err != nil {
-		var re *wire.RemoteError
-		if !errors.As(err, &re) {
-			// Transport failure: drop the cached connection so the next
-			// call redials.
-			s.dropPeer(addr)
-		}
-		return err
-	}
-	return nil
 }
 
 // --- data plane ----------------------------------------------------------

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/uuid"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -20,7 +21,7 @@ import (
 // cluster is three running dataservers plus typed control clients.
 type cluster struct {
 	servers []*Server
-	ctl     []*wire.Client
+	ctl     []*rpc.Peer
 	info    nameserver.FileInfo
 }
 
@@ -60,10 +61,7 @@ func startCluster(t *testing.T, n int, chunkSize int64) *cluster {
 			DataAddr:    s.DataAddr(),
 			Host:        s.cfg.Host,
 		})
-		cc, err := wire.Dial(s.ControlAddr())
-		if err != nil {
-			t.Fatal(err)
-		}
+		cc := rpc.NewPeer(s.ControlAddr(), rpc.Options{})
 		t.Cleanup(func() { cc.Close() })
 		c.ctl = append(c.ctl, cc)
 	}
@@ -175,11 +173,7 @@ func TestConcurrentAppendsThroughPrimary(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cc, err := wire.Dial(c.servers[0].ControlAddr())
-			if err != nil {
-				t.Error(err)
-				return
-			}
+			cc := rpc.NewPeer(c.servers[0].ControlAddr(), rpc.Options{})
 			defer cc.Close()
 			for i := 0; i < perWriter; i++ {
 				var reply AppendReply
@@ -409,10 +403,7 @@ func TestPacerIsApplied(t *testing.T) {
 		ChunkSize: 1 << 20,
 		Replicas:  []nameserver.ReplicaLoc{{ServerID: "paced-ds"}},
 	}
-	cc, err := wire.Dial(s.ControlAddr())
-	if err != nil {
-		t.Fatal(err)
-	}
+	cc := rpc.NewPeer(s.ControlAddr(), rpc.Options{})
 	defer cc.Close()
 	var out struct{}
 	if err := cc.Call(context.Background(), MethodPrepare, PrepareArgs{Info: info}, &out); err != nil {

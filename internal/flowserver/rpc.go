@@ -4,8 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"time"
 
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
@@ -172,34 +172,15 @@ func RegisterRPC(srv *wire.Server, fs *Server, topo *topology.Topology, hooks Ho
 	return srv.Register(MethodFinished, finishedHandler)
 }
 
-// RPCClient is a typed Flowserver RPC client.
+// RPCClient is the typed Flowserver stub over an rpc session (usually an
+// *rpc.Peer). Connection lifecycle — dialing, pooling, reconnection —
+// belongs to the session layer, not this stub.
 type RPCClient struct {
-	c *wire.Client
+	c rpc.Caller
 }
 
-// NewRPCClient wraps an established wire client.
-func NewRPCClient(c *wire.Client) *RPCClient { return &RPCClient{c: c} }
-
-// DialRPC connects to a Flowserver at addr.
-func DialRPC(addr string) (*RPCClient, error) {
-	c, err := wire.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("flowserver: dial: %w", err)
-	}
-	return NewRPCClient(c), nil
-}
-
-// DialRPCTimeout connects a Flowserver client with a bounded TCP connect.
-func DialRPCTimeout(addr string, timeout time.Duration) (*RPCClient, error) {
-	c, err := wire.DialTimeout(addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("flowserver: dial: %w", err)
-	}
-	return NewRPCClient(c), nil
-}
-
-// Close tears down the connection.
-func (c *RPCClient) Close() error { return c.c.Close() }
+// NewRPCClient wraps a control-plane session.
+func NewRPCClient(c rpc.Caller) *RPCClient { return &RPCClient{c: c} }
 
 // Select asks the Flowserver for a read assignment.
 func (c *RPCClient) Select(ctx context.Context, args SelectArgs) ([]AssignmentDTO, error) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -363,11 +364,9 @@ func TestRPCEndToEnd(t *testing.T) {
 	go srv.Serve(ln)
 	t.Cleanup(func() { srv.Close() })
 
-	c, err := Dial(ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	peer := rpc.NewPeer(ln.Addr().String(), rpc.Options{})
+	defer peer.Close()
+	c := NewClient(peer)
 	ctx := context.Background()
 
 	if err := c.Register(ctx, ServerInfo{ID: "extra", ControlAddr: "1.2.3.4:1", Host: "h"}); err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/paxos"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -335,11 +336,9 @@ func TestReplicatedOverRPC(t *testing.T) {
 	go nsSrv.Serve(ln)
 	t.Cleanup(func() { nsSrv.Close() })
 
-	c, err := Dial(ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	peer := rpc.NewPeer(ln.Addr().String(), rpc.Options{})
+	defer peer.Close()
+	c := NewClient(peer)
 	ctx := context.Background()
 
 	if err := c.Register(ctx, ServerInfo{ID: "ds-a", ControlAddr: "127.0.0.1:1", Host: "h"}); err != nil {

@@ -6,8 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"time"
 
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -118,34 +118,15 @@ func RegisterRPC(srv *wire.Server, svc Metadata) error {
 	return nil
 }
 
-// Client is a typed nameserver RPC client.
+// Client is the typed nameserver stub over an rpc session (usually an
+// *rpc.Peer). Connection lifecycle — dialing, pooling, reconnection —
+// belongs to the session layer, not this stub.
 type Client struct {
-	c *wire.Client
+	c rpc.Caller
 }
 
-// NewClient wraps an established wire client.
-func NewClient(c *wire.Client) *Client { return &Client{c: c} }
-
-// Dial connects to a nameserver at addr.
-func Dial(addr string) (*Client, error) {
-	c, err := wire.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("nameserver: dial: %w", err)
-	}
-	return NewClient(c), nil
-}
-
-// DialTimeout connects a nameserver client with a bounded TCP connect.
-func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	c, err := wire.DialTimeout(addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("nameserver: dial: %w", err)
-	}
-	return NewClient(c), nil
-}
-
-// Close tears down the connection.
-func (c *Client) Close() error { return c.c.Close() }
+// NewClient wraps a control-plane session.
+func NewClient(c rpc.Caller) *Client { return &Client{c: c} }
 
 // Register registers a dataserver.
 func (c *Client) Register(ctx context.Context, si ServerInfo) error {

@@ -4,8 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"sync"
 
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -51,53 +51,26 @@ func RegisterRPC(srv *wire.Server, n *Node) error {
 	return nil
 }
 
-// RPCTransport is a Transport over the wire RPC framework, redialing
-// lazily so a restarted peer is picked up transparently.
+// RPCTransport is a Transport over the control plane's pooled session
+// layer: the peer dials lazily with a bounded connect timeout and is
+// replaced transparently when it dies, so a restarted Paxos peer is
+// picked up without the proposer noticing. Prepare/Accept/Learn are all
+// idempotent protocol messages, so the session layer's retry-on-unsent
+// policy is safe here.
 type RPCTransport struct {
-	addr string
-
-	mu sync.Mutex
-	c  *wire.Client
+	peer *rpc.Peer
 }
 
 var _ Transport = (*RPCTransport)(nil)
 
 // NewRPCTransport creates a transport for the peer at addr.
 func NewRPCTransport(addr string) *RPCTransport {
-	return &RPCTransport{addr: addr}
-}
-
-func (t *RPCTransport) client() (*wire.Client, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.c != nil {
-		return t.c, nil
-	}
-	c, err := wire.Dial(t.addr)
-	if err != nil {
-		return nil, fmt.Errorf("paxos: dial %s: %w", t.addr, err)
-	}
-	t.c = c
-	return c, nil
-}
-
-func (t *RPCTransport) drop() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.c != nil {
-		t.c.Close()
-		t.c = nil
-	}
+	return &RPCTransport{peer: rpc.NewPeer(addr, rpc.Options{})}
 }
 
 func (t *RPCTransport) call(ctx context.Context, method string, args, reply any) error {
-	c, err := t.client()
-	if err != nil {
-		return err
-	}
-	if err := c.Call(ctx, method, args, reply); err != nil {
-		t.drop()
-		return err
+	if err := t.peer.Call(ctx, method, args, reply); err != nil {
+		return fmt.Errorf("paxos: %s %s: %w", method, t.peer.Addr(), err)
 	}
 	return nil
 }
@@ -122,14 +95,7 @@ func (t *RPCTransport) Learn(ctx context.Context, args LearnArgs) error {
 	return t.call(ctx, MethodLearn, args, &reply)
 }
 
-// Close releases the underlying connection.
+// Close releases the underlying session.
 func (t *RPCTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.c != nil {
-		err := t.c.Close()
-		t.c = nil
-		return err
-	}
-	return nil
+	return t.peer.Close()
 }

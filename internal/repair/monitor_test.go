@@ -11,6 +11,7 @@ import (
 
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -113,13 +114,13 @@ func TestRepairFlappingServerNotStripped(t *testing.T) {
 	// file-a) is underway; resuming ds-1's heartbeat there means the
 	// stillDead recheck fails before file-b is touched.
 	var once sync.Once
-	dial := func(addr string) (*wire.Client, error) {
+	dial := func(ctx context.Context, addr string) (*wire.Client, error) {
 		once.Do(func() {
 			if err := f.svc.Heartbeat("ds-1"); err != nil {
 				t.Errorf("heartbeat: %v", err)
 			}
 		})
-		return wire.Dial(addr)
+		return rpc.DialSession(ctx, addr)
 	}
 	res, err := Run(context.Background(), Config{
 		Service:   f.svc,

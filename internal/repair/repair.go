@@ -27,6 +27,7 @@ import (
 
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -36,8 +37,13 @@ type Config struct {
 	Service *nameserver.Service
 	// DeadAfter is the heartbeat silence that declares a server dead.
 	DeadAfter time.Duration
-	// Dial opens dataserver control connections; wire.Dial if nil.
-	Dial func(addr string) (*wire.Client, error)
+	// Pool supplies dataserver control sessions. When nil each pass runs
+	// over a private pool (built with Dial) that is closed when the pass
+	// ends.
+	Pool *rpc.Pool
+	// Dial customizes session establishment when Pool is nil;
+	// rpc.DialSession if also nil. Tests inject failures here.
+	Dial func(ctx context.Context, addr string) (*wire.Client, error)
 }
 
 // FileFault records one file the pass could not repair.
@@ -66,9 +72,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.DeadAfter <= 0 {
 		return nil, fmt.Errorf("repair: DeadAfter must be > 0, got %v", cfg.DeadAfter)
 	}
-	dial := cfg.Dial
-	if dial == nil {
-		dial = wire.Dial
+	pool := cfg.Pool
+	if pool == nil {
+		pool = rpc.NewPool(rpc.Options{Dial: cfg.Dial})
+		defer pool.Close()
 	}
 	svc := cfg.Service
 
@@ -112,7 +119,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			if err != nil {
 				continue // deleted meanwhile
 			}
-			if err := repairOne(ctx, svc, dial, cur, rep.ServerID, deadSet, alive); err != nil {
+			if err := repairOne(ctx, svc, pool, cur, rep.ServerID, deadSet, alive); err != nil {
 				if isLost(err) {
 					// Every replica is dead: count the file once, not
 					// once per dead replica.
@@ -140,7 +147,7 @@ func isLost(err error) bool {
 }
 
 // repairOne replaces one dead replica of one file.
-func repairOne(ctx context.Context, svc *nameserver.Service, dial func(string) (*wire.Client, error),
+func repairOne(ctx context.Context, svc *nameserver.Service, pool *rpc.Pool,
 	fi nameserver.FileInfo, deadID string, deadSet map[string]bool, alive func(nameserver.ServerInfo) bool) error {
 
 	// A surviving source.
@@ -173,29 +180,18 @@ func repairOne(ctx context.Context, svc *nameserver.Service, dial func(string) (
 	}
 
 	// Authoritative size from the source.
-	srcCtl, err := dial(source.ControlAddr)
-	if err != nil {
-		return fmt.Errorf("repair: dial source %s: %w", source.ServerID, err)
-	}
-	var st dataserver.StatReply
-	err = srcCtl.Call(ctx, dataserver.MethodStat, dataserver.FileIDArgs{FileID: fi.ID}, &st)
-	srcCtl.Close()
+	st, err := dataserver.NewClient(pool.Peer(source.ControlAddr)).Stat(ctx, fi.ID)
 	if err != nil {
 		return fmt.Errorf("repair: stat source %s: %w", source.ServerID, err)
 	}
 
 	// Copy the bytes onto the replacement.
-	dstCtl, err := dial(repl.ControlAddr)
-	if err != nil {
-		return fmt.Errorf("repair: dial replacement %s: %w", repl.ServerID, err)
-	}
-	defer dstCtl.Close()
-	var rr dataserver.ReplicateReply
-	if err := dstCtl.Call(ctx, dataserver.MethodReplicate, dataserver.ReplicateArgs{
+	rr, err := dataserver.NewClient(pool.Peer(repl.ControlAddr)).Replicate(ctx, dataserver.ReplicateArgs{
 		Info:           fi,
 		SourceDataAddr: source.DataAddr,
 		SizeBytes:      st.SizeBytes,
-	}, &rr); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("repair: replicate %s to %s: %w", fi.Name, repl.ServerID, err)
 	}
 	if rr.SizeBytes < st.SizeBytes {
@@ -215,13 +211,8 @@ func repairOne(ctx context.Context, svc *nameserver.Service, dial func(string) (
 		if deadSet[rep.ServerID] {
 			continue
 		}
-		cc, err := dial(rep.ControlAddr)
-		if err != nil {
-			return fmt.Errorf("repair: dial %s for meta update: %w", rep.ServerID, err)
-		}
-		var out struct{}
-		err = cc.Call(ctx, dataserver.MethodUpdateMeta, dataserver.UpdateMetaArgs{Info: updated}, &out)
-		cc.Close()
+		err := dataserver.NewClient(pool.Peer(rep.ControlAddr)).
+			UpdateMeta(ctx, dataserver.UpdateMetaArgs{Info: updated})
 		if err != nil {
 			return fmt.Errorf("repair: update meta on %s: %w", rep.ServerID, err)
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
 )
 
@@ -85,10 +86,7 @@ func createFile(t *testing.T, f *fixture, name string, payload []byte) nameserve
 	if err != nil {
 		t.Fatal(err)
 	}
-	cc, err := wire.Dial(fi.Primary().ControlAddr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cc := rpc.NewPeer(fi.Primary().ControlAddr, rpc.Options{})
 	defer cc.Close()
 	var out struct{}
 	if err := cc.Call(context.Background(), dataserver.MethodPrepare,
@@ -105,10 +103,7 @@ func createFile(t *testing.T, f *fixture, name string, payload []byte) nameserve
 
 func statOn(t *testing.T, ctlAddr string, fi nameserver.FileInfo) int64 {
 	t.Helper()
-	cc, err := wire.Dial(ctlAddr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cc := rpc.NewPeer(ctlAddr, rpc.Options{})
 	defer cc.Close()
 	var st dataserver.StatReply
 	if err := cc.Call(context.Background(), dataserver.MethodStat,
@@ -198,10 +193,7 @@ func TestRepairPromotesPrimary(t *testing.T) {
 	// Appends keep working through the new primary: its local metadata
 	// was rewritten, so it accepts the orderer role and relays to the
 	// surviving + replacement replicas.
-	cc, err := wire.Dial(got.Primary().ControlAddr)
-	if err != nil {
-		t.Fatal(err)
-	}
+	cc := rpc.NewPeer(got.Primary().ControlAddr, rpc.Options{})
 	defer cc.Close()
 	var reply dataserver.AppendReply
 	if err := cc.Call(context.Background(), dataserver.MethodAppend,

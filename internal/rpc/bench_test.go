@@ -1,0 +1,66 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// BenchmarkRPCRoundTrip measures one pooled-session echo round trip over
+// loopback — the floor every control message (heartbeat, lookup,
+// schedule request) pays for the typed session layer.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	ts := startTestServer(b)
+	p := NewPeer(ts.addr, Options{})
+	defer p.Close()
+	ctx := context.Background()
+	// Prime the session so the dial is outside the measured loop.
+	if err := echoCall(ctx, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out int
+		if err := p.Call(ctx, "echo", i, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCPooledFanout measures a 3-way concurrent fan-out through
+// one pool — the replication-relay shape: a primary issuing parallel
+// calls to every replica over shared sessions.
+func BenchmarkRPCPooledFanout(b *testing.B) {
+	const fanout = 3
+	servers := make([]*testServer, fanout)
+	for i := range servers {
+		servers[i] = startTestServer(b)
+	}
+	pl := NewPool(Options{})
+	defer pl.Close()
+	ctx := context.Background()
+	for _, ts := range servers {
+		if err := echoCall(ctx, pl.Peer(ts.addr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, fanout)
+		for j, ts := range servers {
+			wg.Add(1)
+			go func(j int, addr string) {
+				defer wg.Done()
+				var out int
+				errs[j] = pl.Peer(addr).Call(ctx, "echo", j, &out)
+			}(j, ts.addr)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

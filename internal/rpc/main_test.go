@@ -1,0 +1,14 @@
+package rpc
+
+import (
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/testutil"
+)
+
+// TestMain fails the package if any test leaves a goroutine behind —
+// every peer, pool, and server the conformance suite starts must unwind
+// completely on Close.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

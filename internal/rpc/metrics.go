@@ -1,0 +1,48 @@
+package rpc
+
+import (
+	"context"
+
+	"github.com/mayflower-dfs/mayflower/internal/obs"
+)
+
+// peerMetrics instruments one peer. The structs are always allocated so
+// the hot path never branches on nil; they are published to a registry
+// only when Options.Metrics is set, under
+// "<prefix>.peer.<addr>.{calls,errors,retries,reconnects,inflight}".
+type peerMetrics struct {
+	calls      obs.Counter
+	errors     obs.Counter
+	retries    obs.Counter
+	reconnects obs.Counter
+	inflight   obs.Gauge
+}
+
+func newPeerMetrics(opts Options, addr string) *peerMetrics {
+	m := &peerMetrics{}
+	if r := opts.Metrics; r != nil {
+		base := opts.MetricsPrefix + ".peer." + addr + "."
+		r.RegisterCounter(base+"calls", &m.calls)
+		r.RegisterCounter(base+"errors", &m.errors)
+		r.RegisterCounter(base+"retries", &m.retries)
+		r.RegisterCounter(base+"reconnects", &m.reconnects)
+		r.RegisterGauge(base+"inflight", &m.inflight)
+	}
+	return m
+}
+
+// instrument is the built-in outermost interceptor: per-call and
+// per-error counts plus the inflight gauge. Retries and reconnects are
+// counted where they happen (transportCall, session).
+func (m *peerMetrics) instrument(next CallFunc) CallFunc {
+	return func(ctx context.Context, method string, args, reply any) error {
+		m.calls.Inc()
+		m.inflight.Add(1)
+		err := next(ctx, method, args, reply)
+		m.inflight.Add(-1)
+		if err != nil {
+			m.errors.Inc()
+		}
+		return err
+	}
+}

@@ -1,0 +1,76 @@
+package rpc
+
+import "sync"
+
+// Pool hands out one shared Peer per remote address: every consumer in a
+// process that talks to the same nameserver, dataserver, or flowserver
+// multiplexes over the same underlying session. Peers are created
+// lazily, live for the pool's lifetime, and are all closed by Close.
+// Safe for concurrent use.
+type Pool struct {
+	opts Options
+
+	mu     sync.Mutex
+	peers  map[string]*Peer
+	closed bool
+}
+
+// NewPool creates a pool; every peer it creates shares opts.
+func NewPool(opts Options) *Pool {
+	return &Pool{
+		opts:  opts.withDefaults(),
+		peers: make(map[string]*Peer),
+	}
+}
+
+// Peer returns the pool's shared peer for addr, creating it on first
+// use. A peer obtained from a closed pool is itself closed and fails
+// calls with ErrClosed rather than panicking, so racing lookups against
+// shutdown is benign.
+func (pl *Pool) Peer(addr string) *Peer {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	p, ok := pl.peers[addr]
+	if !ok {
+		p = NewPeer(addr, pl.opts)
+		if pl.closed {
+			p.Close()
+		}
+		pl.peers[addr] = p
+	}
+	return p
+}
+
+// Reset discards the cached session of every peer; subsequent calls
+// re-dial. Chaos scenarios use it to sever all control connections at
+// once.
+func (pl *Pool) Reset() {
+	pl.mu.Lock()
+	peers := make([]*Peer, 0, len(pl.peers))
+	for _, p := range pl.peers {
+		peers = append(peers, p)
+	}
+	pl.mu.Unlock()
+	for _, p := range peers {
+		p.Reset()
+	}
+}
+
+// Close closes every peer. The pool stays usable for lookups (returning
+// closed peers) so concurrent callers see clean errors, not panics.
+func (pl *Pool) Close() error {
+	pl.mu.Lock()
+	pl.closed = true
+	peers := make([]*Peer, 0, len(pl.peers))
+	for _, p := range pl.peers {
+		peers = append(peers, p)
+	}
+	pl.mu.Unlock()
+	var first error
+	for _, p := range peers {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,72 @@
+package rpc
+
+import (
+	"context"
+	"time"
+)
+
+// DefaultMaxBackoff caps the delay between retry passes when Backoff.Max
+// is zero: past a couple of seconds more waiting only delays the error
+// the application will see.
+const DefaultMaxBackoff = 2 * time.Second
+
+// Backoff is the one exponential retry-delay policy shared by the whole
+// control plane: the client's read and write failover loops, and each
+// Peer's transparent reconnects, all space their passes with it. The
+// zero value disables delay (Base 0).
+type Backoff struct {
+	// Base is the delay before the first retry; each further pass
+	// doubles it. Zero or negative means no delay.
+	Base time.Duration
+	// Max saturates the doubling (<=0: DefaultMaxBackoff).
+	Max time.Duration
+}
+
+// Delay computes the exponential delay for a 1-based retry pass,
+// saturating at Max. The exponent is clamped before shifting: base <<
+// (pass-1) overflows int64 once pass exceeds ~62, flipping the duration
+// negative and turning backoff into a hot retry loop (time.After fires
+// immediately on non-positive durations).
+func (b Backoff) Delay(pass int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	if b.Base >= max {
+		return max
+	}
+	shift := pass - 1
+	if shift < 0 {
+		shift = 0
+	}
+	// Max is a duration well below 2^62 ns; clamping the shift at 31
+	// keeps base<<shift far from overflow for any realistic Base while
+	// still saturating (2s cap is passed long before 31 doublings).
+	if shift > 31 {
+		return max
+	}
+	if d := b.Base << uint(shift); d > 0 && d < max {
+		return d
+	}
+	return max
+}
+
+// Sleep waits Delay(pass), aborting early with ctx.Err() if ctx is done.
+// A zero delay returns immediately without consulting ctx.
+func (b Backoff) Sleep(ctx context.Context, pass int) error {
+	d := b.Delay(pass)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

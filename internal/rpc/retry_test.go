@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayNeverNegative is the regression test for the shift
+// overflow: Base << (pass-1) flips negative once pass exceeds ~62, and
+// time.After fires immediately on non-positive durations, turning the
+// backoff into a hot retry loop for large retry budgets.
+func TestBackoffDelayNeverNegative(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond}
+	prev := time.Duration(0)
+	for pass := 1; pass <= 1000; pass++ {
+		d := b.Delay(pass)
+		if d <= 0 {
+			t.Fatalf("pass %d: delay %v is not positive (shift overflow)", pass, d)
+		}
+		if d > DefaultMaxBackoff {
+			t.Fatalf("pass %d: delay %v exceeds cap %v", pass, d, DefaultMaxBackoff)
+		}
+		if d < prev {
+			t.Fatalf("pass %d: delay %v < previous %v (not monotone)", pass, d, prev)
+		}
+		prev = d
+	}
+	// The huge pass numbers that used to overflow.
+	for _, pass := range []int{63, 64, 65, 1 << 20, 1<<31 - 1} {
+		if d := b.Delay(pass); d != DefaultMaxBackoff {
+			t.Errorf("pass %d: delay %v, want saturated %v", pass, d, DefaultMaxBackoff)
+		}
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond}
+	want := []time.Duration{
+		50 * time.Millisecond,  // pass 1
+		100 * time.Millisecond, // pass 2
+		200 * time.Millisecond, // pass 3
+		400 * time.Millisecond, // pass 4
+		800 * time.Millisecond, // pass 5
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if d := b.Delay(i + 1); d != w {
+			t.Errorf("pass %d: delay %v, want %v", i+1, d, w)
+		}
+	}
+	if d := (Backoff{}).Delay(5); d != 0 {
+		t.Errorf("zero base: delay %v, want 0", d)
+	}
+	if d := (Backoff{Base: 5 * time.Second}).Delay(1); d != DefaultMaxBackoff {
+		t.Errorf("over-cap base: delay %v, want %v", d, DefaultMaxBackoff)
+	}
+	if d := b.Delay(0); d != b.Base {
+		t.Errorf("pass 0 clamps to base: got %v", d)
+	}
+	// An explicit Max overrides the default cap.
+	if d := (Backoff{Base: time.Second, Max: 3 * time.Second}).Delay(10); d != 3*time.Second {
+		t.Errorf("custom cap: delay %v, want 3s", d)
+	}
+}
+
+func TestBackoffSleep(t *testing.T) {
+	// Zero delay returns immediately, reporting the context's state.
+	if err := (Backoff{}).Sleep(context.Background(), 5); err != nil {
+		t.Errorf("zero-delay sleep err = %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (Backoff{}).Sleep(cancelled, 1); err != context.Canceled {
+		t.Errorf("zero-delay sleep on cancelled ctx err = %v, want Canceled", err)
+	}
+	// A cancelled context aborts a pending delay promptly.
+	start := time.Now()
+	err := (Backoff{Base: 10 * time.Second}).Sleep(cancelled, 1)
+	if err != context.Canceled {
+		t.Errorf("sleep on cancelled ctx err = %v, want Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled sleep did not return promptly")
+	}
+	// A short delay elapses normally.
+	if err := (Backoff{Base: time.Millisecond}).Sleep(context.Background(), 1); err != nil {
+		t.Errorf("short sleep err = %v", err)
+	}
+}

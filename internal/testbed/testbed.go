@@ -168,10 +168,11 @@ type ClusterConfig struct {
 	Speedup float64
 	// Metrics, when non-nil, receives the deployment's counters: the
 	// Flowserver's selection/poll metrics, the emulated fabric's
-	// reallocation metrics, and (merged in on Close, under
-	// "testbed.drift.*") a flow-model drift audit comparing the
-	// Flowserver's bandwidth estimates against the fabric's true fair
-	// shares on every stats poll.
+	// reallocation metrics, each dataserver's write-path and per-peer
+	// control-plane RPC counters ("dataserver.<id>.rpc.peer.<addr>.*"),
+	// and (merged in on Close, under "testbed.drift.*") a flow-model
+	// drift audit comparing the Flowserver's bandwidth estimates against
+	// the fabric's true fair shares on every stats poll.
 	Metrics *obs.Registry
 }
 
@@ -330,6 +331,7 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 			Rack:              node.Rack,
 			Pacer:             c.Net,
 			HeartbeatInterval: cfg.HeartbeatInterval,
+			Metrics:           c.reg,
 			// Empty for the ECMP modes: relays fall back to static order,
 			// the conventional unscheduled write path.
 			FlowserverAddr: c.fsAddr,

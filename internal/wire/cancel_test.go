@@ -97,7 +97,7 @@ func TestCallCancelledMidFlight(t *testing.T) {
 	defer srv.Close()
 	defer close(release)
 
-	cl, err := Dial(ln.Addr().String())
+	cl, err := DialContext(context.Background(), ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRegisterAfterServe: the handler table is frozen once Serve starts —
+// late registration is an error, not a silent data race with dispatch.
+func TestRegisterAfterServe(t *testing.T) {
+	s := NewServer()
+	mustRegister(t, s, "early", func(context.Context, json.RawMessage) (any, error) { return nil, nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Addr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Register("late", func(context.Context, json.RawMessage) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("Register after Serve succeeded")
+	}
+	if err := s.SetInflightLimit("early", 1); err == nil {
+		t.Fatal("SetInflightLimit after Serve succeeded")
+	}
+}
+
+// TestDeadlinePropagatesToHandler: the client's context deadline rides
+// the request frame and bounds the handler's context server-side, so a
+// handler that honours ctx stops within the caller's budget even though
+// the server itself set no timeout.
+func TestDeadlinePropagatesToHandler(t *testing.T) {
+	sawDeadline := make(chan time.Duration, 1)
+	s := NewServer()
+	mustRegister(t, s, "probe", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			sawDeadline <- -1
+			return nil, nil
+		}
+		sawDeadline <- time.Until(dl)
+		return nil, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := c.Call(ctx, "probe", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rem := <-sawDeadline
+	if rem < 0 {
+		t.Fatal("handler context carried no deadline")
+	}
+	if rem > 500*time.Millisecond {
+		t.Fatalf("handler deadline %v exceeds the caller's 500ms budget", rem)
+	}
+}
+
+// TestNoDeadlineMeansNoHandlerDeadline: a call without a deadline must
+// not invent one server-side.
+func TestNoDeadlineMeansNoHandlerDeadline(t *testing.T) {
+	hadDeadline := make(chan bool, 1)
+	s := NewServer()
+	mustRegister(t, s, "probe", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		_, ok := ctx.Deadline()
+		hadDeadline <- ok
+		return nil, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+	if err := c.Call(context.Background(), "probe", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if <-hadDeadline {
+		t.Fatal("handler context had a deadline for a deadline-free call")
+	}
+}
+
+// TestDeadlineStopsHandlerServerSide: a handler that blocks past the
+// caller's deadline is cancelled by the server's own clock — the
+// propagated budget, not just client-side abandonment, bounds the work.
+func TestDeadlineStopsHandlerServerSide(t *testing.T) {
+	stopped := make(chan error, 1)
+	s := NewServer()
+	mustRegister(t, s, "block", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		select {
+		case <-ctx.Done():
+			stopped <- ctx.Err()
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			stopped <- nil
+			return nil, nil
+		}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := c.Call(ctx, "block", nil, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Call err = %v, want DeadlineExceeded", err)
+	}
+	select {
+	case err := <-stopped:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("handler observed %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never stopped")
+	}
+}
+
+// TestCancelFrameStopsHandler: abandoning a deadline-free call sends a
+// cancel frame that cancels the in-flight handler's context — the server
+// stops doing work whose result nobody will read.
+func TestCancelFrameStopsHandler(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	stopped := make(chan error, 1)
+	s := NewServer()
+	mustRegister(t, s, "hang", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		entered <- struct{}{}
+		select {
+		case <-ctx.Done():
+			stopped <- ctx.Err()
+		case <-time.After(10 * time.Second):
+			stopped <- nil
+		}
+		return nil, nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Call(ctx, "hang", nil, nil) }()
+	<-entered
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Call err = %v, want Canceled", err)
+	}
+	select {
+	case err := <-stopped:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("handler observed %v, want Canceled (cancel frame)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel frame did not stop the handler")
+	}
+}
+
+// TestInflightLimitRejects: the per-method cap answers excess calls with
+// an immediate error instead of queueing them behind the slow ones, and
+// capacity frees once a call finishes.
+func TestInflightLimitRejects(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s := NewServer()
+	mustRegister(t, s, "slow", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return "done", nil
+	})
+	if err := s.SetInflightLimit("slow", 2); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+
+	errs := make(chan error, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go func() {
+			var out string
+			errs <- c.Call(ctx, "slow", nil, &out)
+		}()
+	}
+	<-entered
+	<-entered // both slots occupied
+	if got := s.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+
+	// The third call is rejected immediately, not queued.
+	err = c.Call(ctx, "slow", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "in-flight") {
+		t.Fatalf("over-limit call err = %v, want in-flight rejection", err)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("admitted call failed: %v", err)
+		}
+	}
+	// Capacity is free again.
+	var out string
+	if err := c.Call(ctx, "slow", nil, &out); err != nil {
+		t.Fatalf("call after release: %v", err)
+	}
+}
+
+// TestDrainFinishesInflight: Drain stops accepting work — new calls get
+// a "draining" rejection — but in-flight handlers finish and their
+// responses still reach the caller.
+func TestDrainFinishesInflight(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := NewServer()
+	mustRegister(t, s, "work", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		entered <- struct{}{}
+		<-release
+		return "finished", nil
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln) //nolint:errcheck // Serve returns on Close or Drain
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+
+	callErr := make(chan error, 1)
+	var out string
+	go func() { callErr <- c.Call(context.Background(), "work", nil, &out) }()
+	<-entered
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Draining: a new call on the existing connection is rejected.
+	var rejected atomic.Bool
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		err := c.Call(context.Background(), "work", nil, nil)
+		var re *RemoteError
+		if errors.As(err, &re) && strings.Contains(re.Msg, "draining") {
+			rejected.Store(true)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !rejected.Load() {
+		t.Fatal("new call was not rejected while draining")
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	if err := <-callErr; err != nil {
+		t.Fatalf("in-flight call failed across Drain: %v", err)
+	}
+	if out != "finished" {
+		t.Fatalf("in-flight result = %q, want finished", out)
+	}
+	// Drain is bounded: a second drain with nothing in flight returns at
+	// once, and a drain on a closed server errors.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("idle Drain = %v", err)
+	}
+	s.Close()
+	if err := s.Drain(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Drain after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestUnsentErrorMarksSafeRetries: failures from before the request could
+// have reached the wire wrap *UnsentError; a response that made it back
+// never does.
+func TestUnsentErrorMarksSafeRetries(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Call(context.Background(), "echo", echoArgs{Msg: "x"}, nil)
+	var ue *UnsentError
+	if !errors.As(err, &ue) {
+		t.Fatalf("call on closed client = %v, want *UnsentError", err)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("UnsentError does not unwrap to ErrClosed: %v", err)
+	}
+
+	// A remote application error is NOT an UnsentError — the handler ran.
+	c2 := dial(t, addr)
+	err = c2.Call(context.Background(), "fail", nil, nil)
+	if errors.As(err, &ue) {
+		t.Fatalf("remote error wrapped as UnsentError: %v", err)
+	}
+}

@@ -63,7 +63,7 @@ func mustRegister(t *testing.T, s *Server, method string, h Handler) {
 
 func dial(t *testing.T, addr string) *Client {
 	t.Helper()
-	c, err := Dial(addr)
+	c, err := DialContext(context.Background(), addr)
 	if err != nil {
 		t.Fatal(err)
 	}
