@@ -51,8 +51,8 @@ fuzz:
 # baseline for the incremental allocator, the write path, and the
 # control-plane session layer.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$|^BenchmarkLookupCached$$|^BenchmarkLookupBatchValidate$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc ./internal/client ./internal/nameserver \
 		| $(GO) run ./cmd/bench2json > BENCH_selection.json
 	@cat BENCH_selection.json
 
@@ -63,8 +63,8 @@ bench:
 # warm-up allocations tip the allocs/op average. CI's bench-smoke job
 # runs this.
 bench-check:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$|^BenchmarkLookupCached$$|^BenchmarkLookupBatchValidate$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc ./internal/client ./internal/nameserver \
 		| $(GO) run ./cmd/bench2json -compare BENCH_selection.json -max-regress 0.20
 
 check: build vet fmt-check race

@@ -19,6 +19,13 @@ else
 	echo 'govulncheck not installed; skipping (the GitHub workflow runs it)'
 fi
 
+echo '--- staticcheck'
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo 'staticcheck not installed; skipping (the GitHub workflow runs it)'
+fi
+
 echo '--- gofmt'
 unformatted="$(gofmt -l .)"
 if [ -n "$unformatted" ]; then

@@ -104,6 +104,7 @@ func Scenarios() []Scenario {
 		{Name: "FlowserverUnreachable", Run: FlowserverUnreachable},
 		{Name: "FlowserverStall", Run: FlowserverStall},
 		{Name: "NameserverReplicaCrash", Run: NameserverReplicaCrash},
+		{Name: "StaleCacheAfterRepair", Run: StaleCacheAfterRepair},
 		{Name: "PartitionRack", Run: PartitionRack},
 	}
 }

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/client"
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
+	"github.com/mayflower-dfs/mayflower/internal/repair"
+	"github.com/mayflower-dfs/mayflower/internal/testbed"
+)
+
+// StaleCacheAfterRepair drives the metadata lease cache through the two
+// mutations a second client cannot see coming: a repair-promoted primary
+// and a delete, both performed while that client holds live leases. It
+// asserts the lease contract end to end:
+//
+//   - a reader whose cached replica set was obsoleted by repair picks up
+//     the promoted primary within one lease, via the batched Validate
+//     renewal path (observed on the client's cache counters), not by
+//     error-driven invalidation;
+//   - a file deleted by another client stops resolving at the stale
+//     reader within one lease — the Validate renewal reports it gone and
+//     the reader gets ErrNotFound, never the pre-delete bytes.
+func StaleCacheAfterRepair(ctx context.Context, t *T) error {
+	d, err := newDeployment(t, testbed.ModeMayflower)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	writer, err := d.cluster.NewClient(d.hosts[0], nil)
+	if err != nil {
+		return err
+	}
+	// The stale reader: a short lease so the scripted 600 ms repair gap
+	// comfortably spans several lease lengths, and a private registry so
+	// the scenario can observe which cache path served each read.
+	reg := obs.NewRegistry()
+	reader, err := d.cluster.NewClient(d.hosts[1], func(o *client.Options) {
+		o.CacheTTL = 150 * time.Millisecond
+		o.RetryBackoff = 25 * time.Millisecond
+		o.Metrics = reg
+	})
+	if err != nil {
+		return err
+	}
+	staleServed := reg.Counter("client.cache_stale_served")
+	lookups := reg.Counter("client.rpc.method.ns.Lookup.calls")
+
+	reps := d.pickReplicas(t, 3)
+	victim := reps[0] // both files' primary; repair must promote past it
+	host := d.hostOf[victim]
+	sums := make([]uint32, 2)
+	for i, name := range []string{"s0", "s1"} {
+		if _, err := writer.Create(ctx, name, nameserver.CreateOptions{
+			Replication:       3,
+			PreferredReplicas: reps,
+		}); err != nil {
+			return fmt.Errorf("create %s: %w", name, err)
+		}
+		payload := t.Payload(name, 64<<10)
+		if _, err := writer.Append(ctx, name, payload); err != nil {
+			return fmt.Errorf("append %s: %w", name, err)
+		}
+		sums[i] = Checksum(payload)
+		t.Eventf("created %s replicas=%v sum=%08x", name, reps, sums[i])
+	}
+	// Prime the reader's leases before any fault: both records now cache
+	// the doomed primary.
+	for i, name := range []string{"s0", "s1"} {
+		data, err := reader.ReadAll(ctx, name)
+		if err != nil {
+			return fmt.Errorf("prime read %s: %w", name, err)
+		}
+		if got := Checksum(data); got != sums[i] {
+			return fmt.Errorf("prime read %s: checksum %08x, want %08x", name, got, sums[i])
+		}
+	}
+	lookupsPrimed := lookups.Value()
+	t.Eventf("reader primed leases for s0 s1")
+
+	sched := &Scheduler{}
+	sched.At(2*time.Millisecond, fmt.Sprintf("kill primary %s", victim), func() error {
+		_, err := d.cluster.KillDataserver(host)
+		return err
+	})
+	// Past the heartbeat-silence threshold: a repair pass declares the
+	// victim dead, promotes the first survivor to primary of both files,
+	// and re-replicates — bumping each record's version and the epoch.
+	sched.At(600*time.Millisecond, "repair pass promotes a survivor", func() error {
+		mon := repair.NewMonitor(repair.Config{
+			Service:   d.cluster.NameserverService(),
+			DeadAfter: 250 * time.Millisecond,
+		})
+		res, err := mon.Pass(ctx)
+		if err != nil {
+			return err
+		}
+		if len(res.Dead) != 1 || res.Dead[0] != victim {
+			return fmt.Errorf("declared dead %v, want [%s]", res.Dead, victim)
+		}
+		if len(res.Lost) > 0 || len(res.Faults) > 0 {
+			return fmt.Errorf("repair lost=%v faults=%v", res.Lost, res.Faults)
+		}
+		if res.Repaired != 2 {
+			return fmt.Errorf("repaired %d replicas, want 2", res.Repaired)
+		}
+		t.Eventf("declared dead: %v, re-replicated %d replicas", res.Dead, res.Repaired)
+		return nil
+	})
+	sched.At(610*time.Millisecond, "writer deletes s1", func() error {
+		if err := writer.Delete(ctx, "s1"); err != nil {
+			return fmt.Errorf("delete s1: %w", err)
+		}
+		t.Eventf("deleted s1")
+		return nil
+	})
+	// 800 ms is more than one 150 ms lease past both mutations: the
+	// reader's next access must revalidate, not serve the stale records.
+	sched.At(800*time.Millisecond, "stale reader rereads s0 via lease renewal", func() error {
+		data, err := reader.ReadAll(ctx, "s0")
+		if err != nil {
+			return fmt.Errorf("read s0 post-repair: %w", err)
+		}
+		if got := Checksum(data); got != sums[0] {
+			return fmt.Errorf("read s0 post-repair: checksum %08x, want %08x", got, sums[0])
+		}
+		info, err := reader.Stat(ctx, "s0")
+		if err != nil {
+			return fmt.Errorf("stat s0 post-repair: %w", err)
+		}
+		if got := info.Primary().ServerID; got == victim || got != reps[1] {
+			return fmt.Errorf("post-repair primary %s, want promoted survivor %s", got, reps[1])
+		}
+		if staleServed.Value() == 0 {
+			return errors.New("repair-obsoleted record was not caught by lease revalidation")
+		}
+		if extra := lookups.Value() - lookupsPrimed; extra != 0 {
+			return fmt.Errorf("reread cost %d full Lookups, want 0 (batched Validate only)", extra)
+		}
+		t.Eventf("reread s0 ok via promoted primary %s, renewed by validate (no full lookup)", reps[1])
+		return nil
+	})
+	sched.At(810*time.Millisecond, "stale reader sees s1 deleted", func() error {
+		_, err := reader.ReadAll(ctx, "s1")
+		if err == nil {
+			return errors.New("read of deleted s1 served stale bytes past one lease")
+		}
+		if !errors.Is(err, nameserver.ErrNotFound) {
+			return fmt.Errorf("read deleted s1: got %v, want ErrNotFound", err)
+		}
+		t.Eventf("read s1 correctly gone within one lease")
+		return nil
+	})
+	return sched.Run(t)
+}

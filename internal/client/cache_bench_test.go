@@ -1,0 +1,32 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLookupCached measures the metadata hot path a read job pays
+// per file open when its lease is live: one cache Get, no nameserver
+// round trip. This is the number the lease cache buys over the ~ms cost
+// of a Lookup RPC.
+func BenchmarkLookupCached(b *testing.B) {
+	tc := newTestCache(4096, 1e9)
+	ctx := context.Background()
+	const files = 1024
+	names := make([]string, files)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench/f%04d", i)
+		tc.put(names[i], int64(i))
+		if _, err := tc.Get(ctx, names[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.Get(ctx, names[i%files]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

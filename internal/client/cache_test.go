@@ -1,0 +1,522 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/nameserver"
+)
+
+// fakeClock is a hand-advanced fabric clock: lease expiry in these tests
+// never depends on wall time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+func (c *fakeClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+func (c *fakeClock) Sleep(float64) {}
+func (c *fakeClock) advance(d float64) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// testCache builds a metaCache over fake nameserver callbacks backed by a
+// mutable record table.
+type testCache struct {
+	*metaCache
+	clk *fakeClock
+	met *cacheMetrics
+
+	mu        sync.Mutex
+	files     map[string]nameserver.FileInfo
+	epoch     int64
+	lookups   atomic.Int64
+	validates atomic.Int64
+	lookupErr error // forced transport error, not NotFound
+}
+
+func newTestCache(capEntries int, ttl float64) *testCache {
+	clk := &fakeClock{}
+	met := &cacheMetrics{}
+	tc := &testCache{clk: clk, met: met, files: make(map[string]nameserver.FileInfo)}
+	mc := newMetaCache(capEntries, ttl, clk, met)
+	mc.lookup = func(_ context.Context, name string) (nameserver.FileInfo, error) {
+		tc.lookups.Add(1)
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		if tc.lookupErr != nil {
+			return nameserver.FileInfo{}, tc.lookupErr
+		}
+		fi, ok := tc.files[name]
+		if !ok {
+			return nameserver.FileInfo{}, fmt.Errorf("%w: %s", nameserver.ErrNotFound, name)
+		}
+		return fi, nil
+	}
+	mc.validate = func(_ context.Context, epoch int64, entries []nameserver.ValidateEntry) ([]nameserver.ValidateResult, int64, error) {
+		tc.validates.Add(1)
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		out := make([]nameserver.ValidateResult, len(entries))
+		for i, e := range entries {
+			fi, ok := tc.files[e.Name]
+			switch {
+			case epoch == tc.epoch:
+				out[i] = nameserver.ValidateResult{Name: e.Name, Status: nameserver.ValidateOK}
+			case !ok:
+				out[i] = nameserver.ValidateResult{Name: e.Name, Status: nameserver.ValidateGone}
+			case fi.Version == e.Version:
+				out[i] = nameserver.ValidateResult{Name: e.Name, Status: nameserver.ValidateOK}
+			default:
+				fresh := fi
+				out[i] = nameserver.ValidateResult{Name: e.Name, Status: nameserver.ValidateStale, Info: &fresh}
+			}
+		}
+		return out, tc.epoch, nil
+	}
+	tc.metaCache = mc
+	return tc
+}
+
+// put installs (or mutates) a record server-side, bumping its version and
+// the epoch.
+func (tc *testCache) put(name string, size int64) nameserver.FileInfo {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.epoch++
+	fi := nameserver.FileInfo{Name: name, SizeBytes: size, ChunkSize: 64, Version: tc.epoch}
+	tc.files[name] = fi
+	return fi
+}
+
+func (tc *testCache) del(name string) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.epoch++
+	delete(tc.files, name)
+}
+
+func TestCacheHitWithinLease(t *testing.T) {
+	tc := newTestCache(8, 10)
+	tc.put("a", 1)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := tc.Get(ctx, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tc.lookups.Load(); got != 1 {
+		t.Errorf("lookups = %d, want 1 (rest served from lease)", got)
+	}
+	if hits := tc.met.hits.Value(); hits != 4 {
+		t.Errorf("cache hits = %d, want 4", hits)
+	}
+}
+
+func TestCacheLRUEvictionBounded(t *testing.T) {
+	tc := newTestCache(3, 10)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("f%d", i)
+		tc.put(name, 1)
+		if _, err := tc.Get(ctx, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tc.Len(); n != 3 {
+		t.Errorf("cache holds %d entries, want cap 3", n)
+	}
+	if ev := tc.met.evicted.Value(); ev != 2 {
+		t.Errorf("evicted = %d, want 2", ev)
+	}
+	if g := tc.met.entries.Value(); g != 3 {
+		t.Errorf("entries gauge = %d, want 3", g)
+	}
+	// f0 and f1 were evicted; re-reading them costs fresh lookups while
+	// f4 is still a hit.
+	before := tc.lookups.Load()
+	if _, err := tc.Get(ctx, "f4"); err != nil {
+		t.Fatal(err)
+	}
+	if tc.lookups.Load() != before {
+		t.Error("recently used entry was evicted")
+	}
+	if _, err := tc.Get(ctx, "f0"); err != nil {
+		t.Fatal(err)
+	}
+	if tc.lookups.Load() != before+1 {
+		t.Error("evicted entry served without a lookup")
+	}
+}
+
+// TestCacheLeaseUsesInjectedClock is the regression test for lease expiry
+// ticking on the wall clock: with a fabric clock injected, wall time
+// passing must not expire a lease, and fabric time passing must.
+func TestCacheLeaseUsesInjectedClock(t *testing.T) {
+	tc := newTestCache(8, 5)
+	tc.put("a", 1)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // wall time is irrelevant
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.lookups.Load() + tc.validates.Load(); got != 1 {
+		t.Fatalf("wall-clock sleep triggered revalidation: %d nameserver calls", got)
+	}
+	tc.clk.advance(6) // past the 5 fabric-second lease
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if v := tc.validates.Load(); v != 1 {
+		t.Errorf("fabric-clock expiry validates = %d, want 1", v)
+	}
+}
+
+func TestCacheExpiredLeaseRenewsViaValidate(t *testing.T) {
+	tc := newTestCache(8, 5)
+	tc.put("a", 1)
+	tc.put("b", 2)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Get(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	tc.clk.advance(6)
+	// One access renews both expired leases in a single batched Validate;
+	// no full Lookup.
+	before := tc.lookups.Load()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if tc.lookups.Load() != before {
+		t.Error("lease renewal used a full Lookup")
+	}
+	if v := tc.validates.Load(); v != 1 {
+		t.Fatalf("validates = %d, want 1", v)
+	}
+	// b's lease rode the same batch: no further nameserver traffic.
+	if _, err := tc.Get(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if v := tc.validates.Load(); v != 1 {
+		t.Errorf("b's renewal was not batched: validates = %d", v)
+	}
+	if r := tc.met.renewed.Value(); r != 2 {
+		t.Errorf("renewed = %d, want 2", r)
+	}
+}
+
+func TestCacheValidateRefreshesStaleRecord(t *testing.T) {
+	tc := newTestCache(8, 5)
+	tc.put("a", 1)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := tc.put("a", 99) // server-side mutation bumps version+epoch
+	tc.clk.advance(6)
+	info, err := tc.Get(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != fresh.Version || info.SizeBytes != 99 {
+		t.Errorf("got version=%d size=%d, want fresh %d/99", info.Version, info.SizeBytes, fresh.Version)
+	}
+	if tc.lookups.Load() != 1 {
+		t.Errorf("stale refresh used a full Lookup (lookups=%d)", tc.lookups.Load())
+	}
+	if s := tc.met.staleServed.Value(); s != 1 {
+		t.Errorf("stale_served = %d, want 1", s)
+	}
+}
+
+func TestCacheDeletedFileGoesNegative(t *testing.T) {
+	tc := newTestCache(8, 5)
+	tc.put("a", 1)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	tc.del("a")
+	tc.clk.advance(6)
+	if _, err := tc.Get(ctx, "a"); !errors.Is(err, nameserver.ErrNotFound) {
+		t.Fatalf("post-delete Get err = %v, want ErrNotFound", err)
+	}
+	// The gone verdict is negatively cached: repeated opens within the
+	// lease cost no nameserver traffic.
+	calls := tc.lookups.Load() + tc.validates.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := tc.Get(ctx, "a"); !errors.Is(err, nameserver.ErrNotFound) {
+			t.Fatalf("negative Get err = %v", err)
+		}
+	}
+	if got := tc.lookups.Load() + tc.validates.Load(); got != calls {
+		t.Errorf("negative entries not cached: %d extra calls", got-calls)
+	}
+	// After re-creation the next renewal resolves the fresh record.
+	fresh := tc.put("a", 7)
+	tc.clk.advance(6)
+	info, err := tc.Get(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != fresh.Version {
+		t.Errorf("re-created version = %d, want %d", info.Version, fresh.Version)
+	}
+}
+
+func TestCacheNegativeEntryFromLookup(t *testing.T) {
+	tc := newTestCache(8, 5)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "ghost"); !errors.Is(err, nameserver.ErrNotFound) {
+		t.Fatalf("Get missing err = %v", err)
+	}
+	if _, err := tc.Get(ctx, "ghost"); !errors.Is(err, nameserver.ErrNotFound) {
+		t.Fatalf("Get missing err = %v", err)
+	}
+	if got := tc.lookups.Load(); got != 1 {
+		t.Errorf("lookups = %d, want 1 (NotFound negatively cached)", got)
+	}
+}
+
+func TestCacheValidateErrorFallsBackToLookup(t *testing.T) {
+	tc := newTestCache(8, 5)
+	tc.put("a", 1)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	tc.metaCache.validate = func(context.Context, int64, []nameserver.ValidateEntry) ([]nameserver.ValidateResult, int64, error) {
+		return nil, 0, errors.New("validate RPC down")
+	}
+	tc.clk.advance(6)
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.lookups.Load(); got != 2 {
+		t.Errorf("lookups = %d, want 2 (fallback after validate failure)", got)
+	}
+}
+
+// TestCacheOldEpochEntryNotFastPathRenewed is the epoch-soundness
+// regression test. The trap: x is cached, then mutated server-side
+// (bumping the epoch); the client later adopts that newer epoch from an
+// unrelated renewal of y. When x's lease finally expires, the server's
+// epoch has not moved since the client's adopted value — a batch
+// claiming the client's newest epoch would ride the fast path and renew
+// stale x. The batch must instead claim x's own (older) fresh-at epoch,
+// forcing the per-entry version check that catches the stale record.
+func TestCacheOldEpochEntryNotFastPathRenewed(t *testing.T) {
+	tc := newTestCache(8, 100)
+	tc.put("y", 1)
+	tc.put("x", 1)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "y"); err != nil { // y leased until t=100
+		t.Fatal(err)
+	}
+	tc.clk.advance(50)
+	if _, err := tc.Get(ctx, "x"); err != nil { // x leased until t=150
+		t.Fatal(err)
+	}
+	fresh := tc.put("x", 42) // server mutates x: version and epoch move
+	// t=101: only y is expired. Its renewal adopts the server's newest
+	// epoch — the one that already covers x's mutation.
+	tc.clk.advance(51)
+	if _, err := tc.Get(ctx, "y"); err != nil {
+		t.Fatal(err)
+	}
+	// t=160: x expires and validates alone, with no further server-side
+	// epoch movement. The fast path must not renew it.
+	tc.clk.advance(59)
+	info, err := tc.Get(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != fresh.Version || info.SizeBytes != 42 {
+		t.Errorf("stale x fast-path renewed under adopted epoch: version=%d size=%d, want %d/42",
+			info.Version, info.SizeBytes, fresh.Version)
+	}
+	if got := tc.lookups.Load(); got != 2 {
+		t.Errorf("lookups = %d, want 2 (renewals must stay on Validate)", got)
+	}
+}
+
+// flightCount reports in-flight lookups; test helper.
+func (mc *metaCache) flightCount() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.flights)
+}
+
+func TestCacheSingleflightCoalescesMisses(t *testing.T) {
+	tc := newTestCache(8, 10)
+	tc.put("a", 1)
+	release := make(chan struct{})
+	var calls atomic.Int64
+	tc.metaCache.lookup = func(_ context.Context, name string) (nameserver.FileInfo, error) {
+		calls.Add(1)
+		<-release
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		return tc.files[name], nil
+	}
+	const N = 16
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = tc.Get(context.Background(), "a")
+		}()
+	}
+	// Let the stragglers pile onto the leader's flight, then release it.
+	for tc.met.coalesced.Value() < N-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("lookup calls = %d, want 1 (misses coalesced)", got)
+	}
+}
+
+func TestCacheSingleflightHonorsContext(t *testing.T) {
+	tc := newTestCache(8, 10)
+	release := make(chan struct{})
+	defer close(release)
+	tc.metaCache.lookup = func(context.Context, string) (nameserver.FileInfo, error) {
+		<-release
+		return nameserver.FileInfo{}, errors.New("too late")
+	}
+	leaderGone := make(chan struct{})
+	go func() {
+		defer close(leaderGone)
+		_, _ = tc.Get(context.Background(), "a")
+	}()
+	for tc.flightCount() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tc.Get(ctx, "a"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled follower err = %v, want context.Canceled", err)
+	}
+}
+
+// TestObserveSizeVersionGuard is the resurrection-race regression test:
+// a size observed under an old record version must not fold into (or
+// resurrect) a newer or invalidated cache entry.
+func TestObserveSizeVersionGuard(t *testing.T) {
+	tc := newTestCache(8, 10)
+	fi := tc.put("a", 10)
+	ctx := context.Background()
+	if _, err := tc.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same version, larger size: folds.
+	tc.ObserveSize("a", fi.Version, 20)
+	if info, _ := tc.Get(ctx, "a"); info.SizeBytes != 20 {
+		t.Errorf("same-version observe did not fold: size=%d", info.SizeBytes)
+	}
+	// Stale version: ignored even though the size is larger.
+	tc.ObserveSize("a", fi.Version-1, 1000)
+	if info, _ := tc.Get(ctx, "a"); info.SizeBytes != 20 {
+		t.Errorf("stale-version observe folded: size=%d", info.SizeBytes)
+	}
+	// Sizes never shrink.
+	tc.ObserveSize("a", fi.Version, 5)
+	if info, _ := tc.Get(ctx, "a"); info.SizeBytes != 20 {
+		t.Errorf("shrinking observe folded: size=%d", info.SizeBytes)
+	}
+	// After invalidation the observe must not resurrect the entry.
+	tc.Invalidate("a")
+	tc.ObserveSize("a", fi.Version, 30)
+	if tc.has("a") {
+		t.Error("ObserveSize resurrected an invalidated entry")
+	}
+}
+
+// TestCacheConcurrentExercise drives every cache operation from many
+// goroutines at once; run under -race it is the data-race regression
+// test for the cache layer (hit/miss/evict/invalidate/observe/renewal/
+// singleflight all interleaving).
+func TestCacheConcurrentExercise(t *testing.T) {
+	tc := newTestCache(16, 0.005)
+	names := make([]string, 32) // 2× cap so eviction churns constantly
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+		tc.put(names[i], int64(i))
+	}
+	stop := make(chan struct{})
+	// A clock mover so leases expire mid-storm.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tc.clk.advance(0.001)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 400; i++ {
+				name := names[(g*13+i)%len(names)]
+				switch i % 5 {
+				case 0, 1, 2:
+					info, err := tc.Get(ctx, name)
+					if err != nil && !errors.Is(err, nameserver.ErrNotFound) {
+						t.Errorf("get %s: %v", name, err)
+						return
+					}
+					tc.ObserveSize(name, info.Version, info.SizeBytes+1)
+				case 3:
+					tc.Invalidate(name)
+				case 4:
+					if i%50 == 4 {
+						tc.put(name, int64(i)) // server-side mutation
+					} else if _, err := tc.Get(ctx, name); err != nil && !errors.Is(err, nameserver.ErrNotFound) {
+						t.Errorf("get %s: %v", name, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if n := tc.Len(); n > 16 {
+		t.Errorf("cache grew past its cap under concurrency: %d entries", n)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
 	"github.com/mayflower-dfs/mayflower/internal/obs"
@@ -60,10 +61,21 @@ type Options struct {
 	Host string
 	// Consistency is the read mode; Sequential if zero.
 	Consistency Consistency
-	// CacheTTL bounds how long file→dataserver mappings are reused
-	// before re-validating with the nameserver (30 s if zero; the paper
-	// sizes this against replica migration and failure rates).
+	// CacheTTL is the metadata lease length: how long file→dataserver
+	// mappings are served without nameserver traffic before the lease is
+	// revalidated with a batched ns.Validate (30 s if zero; the paper
+	// sizes this against replica migration and failure rates). Leases are
+	// measured on Clock, so under a compressed fabric clock the TTL means
+	// fabric seconds, not wall seconds.
 	CacheTTL time.Duration
+	// CacheEntries caps the metadata cache; least-recently-used entries
+	// are evicted beyond it (4096 if zero).
+	CacheEntries int
+	// Clock supplies the time base for lease expiry; the wall clock if
+	// nil. The testbed injects its fabric clock so compressed-clock
+	// emulation keeps the configured TTL instead of shrinking it by the
+	// speedup factor.
+	Clock fabric.Clock
 	// DialData opens bulk data connections; net.Dial if nil (the
 	// emulated network injects its paced dialer here).
 	DialData func(ctx context.Context, addr string) (net.Conn, error)
@@ -146,6 +158,10 @@ type clientMetrics struct {
 	appendAttemptsOK    obs.Counter
 	appendAttemptsErr   obs.Counter
 	writesDegraded      obs.Counter
+
+	// Metadata cache: lease hits/misses/renewals, stale records caught
+	// at renewal, evictions, entry count.
+	cache cacheMetrics
 }
 
 func (m *clientMetrics) register(r *obs.Registry) {
@@ -159,11 +175,7 @@ func (m *clientMetrics) register(r *obs.Registry) {
 	r.RegisterCounter("client.append_attempts_ok", &m.appendAttemptsOK)
 	r.RegisterCounter("client.append_attempts_err", &m.appendAttemptsErr)
 	r.RegisterCounter("client.writes_degraded", &m.writesDegraded)
-}
-
-type cacheEntry struct {
-	info nameserver.FileInfo
-	at   time.Time
+	m.cache.register(r)
 }
 
 // Client is a Mayflower filesystem client. It is safe for concurrent use.
@@ -173,9 +185,10 @@ type Client struct {
 	ns   *nameserver.Client
 	fs   *flowserver.RPCClient
 
-	mu    sync.Mutex
-	cache map[string]cacheEntry
-	rng   *rand.Rand
+	cache *metaCache
+
+	mu  sync.Mutex
+	rng *rand.Rand
 
 	met   clientMetrics
 	retry rpc.Backoff
@@ -224,20 +237,37 @@ func New(opts Options) (*Client, error) {
 		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 
-	pool := rpc.NewPool(rpc.Options{
+	poolOpts := rpc.Options{
 		ConnectTimeout: 5 * time.Second,
 		Dial:           opts.DialControl,
 		Backoff:        rpc.Backoff{Base: opts.RetryBackoff},
 		Metrics:        opts.Metrics,
 		MetricsPrefix:  "client.rpc",
-	})
+	}
+	if opts.Metrics != nil {
+		// Per-method call counters make the metadata path observable:
+		// ns.Lookup vs ns.Validate traffic shows what the lease cache
+		// saves.
+		poolOpts.Intercept = []rpc.Interceptor{rpc.MethodMetrics(opts.Metrics, "client.rpc")}
+	}
+	pool := rpc.NewPool(poolOpts)
 	c := &Client{
 		opts:  opts,
 		pool:  pool,
 		ns:    nameserver.NewClient(pool.Peer(opts.NameserverAddr)),
-		cache: make(map[string]cacheEntry),
 		rng:   rng,
 		retry: rpc.Backoff{Base: opts.RetryBackoff},
+	}
+	c.cache = newMetaCache(opts.CacheEntries, opts.CacheTTL.Seconds(), opts.Clock, &c.met.cache)
+	c.cache.lookup = func(ctx context.Context, name string) (nameserver.FileInfo, error) {
+		lctx, cancel := c.rpcCtx(ctx)
+		defer cancel()
+		return c.ns.Lookup(lctx, name)
+	}
+	c.cache.validate = func(ctx context.Context, epoch int64, entries []nameserver.ValidateEntry) ([]nameserver.ValidateResult, int64, error) {
+		vctx, cancel := c.rpcCtx(ctx)
+		defer cancel()
+		return c.ns.Validate(vctx, epoch, entries)
 	}
 	// Fail fast on a misconfigured nameserver address; the pool re-dials
 	// on its own from here on.
@@ -274,47 +304,26 @@ func (c *Client) control(addr string) *dataserver.Client {
 	return dataserver.NewClient(c.pool.Peer(addr))
 }
 
-// fileInfo returns (possibly cached) metadata for a file.
+// fileInfo returns (possibly cached) metadata for a file; see metaCache
+// for the lease protocol.
 func (c *Client) fileInfo(ctx context.Context, name string) (nameserver.FileInfo, error) {
-	c.mu.Lock()
-	if e, ok := c.cache[name]; ok && time.Since(e.at) < c.opts.CacheTTL {
-		info := e.info
-		c.mu.Unlock()
-		return info, nil
-	}
-	c.mu.Unlock()
-
-	lctx, cancel := c.rpcCtx(ctx)
-	info, err := c.ns.Lookup(lctx, name)
-	cancel()
-	if err != nil {
-		return nameserver.FileInfo{}, err
-	}
-	c.storeCache(name, info)
-	return info, nil
+	return c.cache.Get(ctx, name)
 }
 
 func (c *Client) storeCache(name string, info nameserver.FileInfo) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache[name] = cacheEntry{info: info, at: time.Now()}
+	c.cache.Store(name, info)
 }
 
 func (c *Client) invalidate(name string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.cache, name)
+	c.cache.Invalidate(name)
 }
 
 // observeSize folds a size learned from a dataserver read into the cache
-// (sizes only grow under append-only semantics).
-func (c *Client) observeSize(name string, size int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.cache[name]; ok && size > e.info.SizeBytes {
-		e.info.SizeBytes = size
-		c.cache[name] = e
-	}
+// (sizes only grow under append-only semantics). version must be the
+// version of the record the size was observed under, so a stale read
+// cannot resurrect or pollute a newer cached record.
+func (c *Client) observeSize(name string, version, size int64) {
+	c.cache.ObserveSize(name, version, size)
 }
 
 // Create creates a file: the nameserver allocates replicas, then the
@@ -400,7 +409,7 @@ func (c *Client) Append(ctx context.Context, name string, data []byte) (int64, e
 		size = sz
 		off += n
 	}
-	c.observeSize(name, size)
+	c.observeSize(name, info.Version, size)
 	return size, nil
 }
 
@@ -428,7 +437,7 @@ func (c *Client) Stat(ctx context.Context, name string) (nameserver.FileInfo, er
 	}
 	if size > info.SizeBytes {
 		info.SizeBytes = size
-		c.observeSize(name, size)
+		c.observeSize(name, info.Version, size)
 	}
 	return info, nil
 }
@@ -686,7 +695,7 @@ func (c *Client) readOnce(ctx context.Context, name string, info nameserver.File
 	if err != nil {
 		return fmt.Errorf("client: read %s from %s: %w", name, rep.ServerID, err)
 	}
-	c.observeSize(name, size)
+	c.observeSize(name, info.Version, size)
 	if _, err := io.ReadFull(conn, buf); err != nil {
 		return fmt.Errorf("client: read %s body from %s: %w", name, rep.ServerID, err)
 	}

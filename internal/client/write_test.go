@@ -222,20 +222,14 @@ func TestAppendErrorInvalidatesCache(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	c.mu.Lock()
-	_, cached := c.cache["f"]
-	c.mu.Unlock()
-	if !cached {
+	if !c.cache.has("f") {
 		t.Fatal("Create did not prime the metadata cache")
 	}
 
 	if _, err := c.Append(ctx, "f", []byte("x")); err == nil {
 		t.Fatal("append against failing primary succeeded")
 	}
-	c.mu.Lock()
-	_, cached = c.cache["f"]
-	c.mu.Unlock()
-	if cached {
+	if c.cache.has("f") {
 		t.Error("failed append left stale metadata in the cache")
 	}
 }

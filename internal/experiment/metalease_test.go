@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/workload"
+)
+
+// leaseConfig is a read-heavy run on the CI-sized topology with a small
+// catalog, so each client re-reads the same files many times over —
+// the regime where the metadata lease cache pays.
+func leaseConfig(t *testing.T) Config {
+	return Config{
+		Scheme:        SchemeMayflower,
+		Lambda:        3.0,
+		NumJobs:       800,
+		WarmupJobs:    50,
+		NumFiles:      4,
+		FileBits:      2e6,
+		Replication:   3,
+		Locality:      workload.LocalityRackHeavy,
+		StatsInterval: 0.25,
+		Seed:          7,
+		Topo:          crossTopo(t),
+	}
+}
+
+// TestMetaLeaseCutsNameserverLookups is the acceptance check for the
+// metadata-path model: on a read-heavy sweep the lease cache cuts
+// nameserver Lookup RPCs per job by at least 10x — each (client, file)
+// pair pays one Lookup instead of one per job.
+func TestMetaLeaseCutsNameserverLookups(t *testing.T) {
+	noCache := leaseConfig(t)
+	res0, err := Run(noCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.NSLookups != noCache.NumJobs {
+		t.Fatalf("no-cache NSLookups = %d, want one per job (%d)", res0.NSLookups, noCache.NumJobs)
+	}
+	if res0.NSValidates != 0 {
+		t.Fatalf("no-cache NSValidates = %d, want 0", res0.NSValidates)
+	}
+
+	cached := leaseConfig(t)
+	cached.MetaLeaseSeconds = 1e9 // leases outlive the run
+	res1, err := Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.NSLookups == 0 {
+		t.Fatal("cached run recorded no Lookups at all")
+	}
+	ratio := float64(res0.NSLookups) / float64(res1.NSLookups)
+	t.Logf("lookups/job: %.3f without cache, %.3f with (%.1fx fewer)",
+		float64(res0.NSLookups)/float64(noCache.NumJobs),
+		float64(res1.NSLookups)/float64(cached.NumJobs), ratio)
+	if ratio < 10 {
+		t.Errorf("lease cache cut Lookups by %.1fx (%d -> %d), want >= 10x",
+			ratio, res0.NSLookups, res1.NSLookups)
+	}
+	if res1.NSValidates != 0 {
+		t.Errorf("NSValidates = %d with leases outliving the run, want 0", res1.NSValidates)
+	}
+
+	// A lease shorter than the run renews via Validate; Lookups stay at
+	// one per (client, file) pair.
+	renewing := leaseConfig(t)
+	renewing.MetaLeaseSeconds = 5
+	res2, err := Run(renewing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NSLookups != res1.NSLookups {
+		t.Errorf("short-lease NSLookups = %d, want %d (renewals must not re-Lookup)",
+			res2.NSLookups, res1.NSLookups)
+	}
+	if res2.NSValidates == 0 {
+		t.Error("short leases recorded no Validate renewals")
+	}
+
+	// The model is pure bookkeeping: completion times are identical with
+	// the cache on and off.
+	if len(res0.CompletionTimes) != len(res1.CompletionTimes) {
+		t.Fatalf("completion count moved: %d vs %d", len(res0.CompletionTimes), len(res1.CompletionTimes))
+	}
+	for i := range res0.CompletionTimes {
+		if res0.CompletionTimes[i] != res1.CompletionTimes[i] {
+			t.Fatalf("job %d completion moved with the cache on: %g vs %g",
+				i, res0.CompletionTimes[i], res1.CompletionTimes[i])
+		}
+	}
+}
+
+func TestMetaLeaseRejectsNegative(t *testing.T) {
+	cfg := leaseConfig(t)
+	cfg.MetaLeaseSeconds = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted a negative MetaLeaseSeconds")
+	}
+}

@@ -57,6 +57,16 @@ type FileInfo struct {
 	SizeBytes int64        `json:"sizeBytes"`
 	ChunkSize int64        `json:"chunkSize"`
 	Replicas  []ReplicaLoc `json:"replicas"`
+	// Version stamps the record's last mutation (install, size report,
+	// replica replacement). Versions are drawn from the nameserver's
+	// global namespace epoch, so they are monotonic per file AND unique
+	// across a delete/re-create of the same name — a client holding a
+	// pre-delete version can never mistake the re-created file for its
+	// cached record. Clients cache FileInfo under a lease and revalidate
+	// with a cheap batched Validate carrying (name, version) pairs instead
+	// of a full Lookup; an unchanged version renews the lease without
+	// re-sending the record.
+	Version int64 `json:"version,omitempty"`
 }
 
 // NumChunks returns how many chunk files hold the file's bytes.
@@ -117,11 +127,23 @@ type Service struct {
 	lastBeat  map[string]time.Time  // id → last heartbeat (in-memory only)
 	scorer    PlacementScorer
 	deadAfter time.Duration // placement skips servers silent this long (0 = no filter)
+
+	// epoch counts namespace-shape mutations (InstallFile, Delete,
+	// ReplaceReplica) — the events that can invalidate a cached replica
+	// set. A client whose last observed epoch still matches can have every
+	// lease renewed without per-entry version checks (sizes may have moved,
+	// but sizes only grow and are corrected by every dataserver read).
+	epoch int64
+	// verSeq issues FileInfo versions: a global sequence bumped on every
+	// record mutation (epoch events plus size reports), so versions are
+	// monotonic per file and never reused across a delete/re-create.
+	verSeq int64
 }
 
 const (
 	filePrefix   = "file/"
 	serverPrefix = "server/"
+	epochKey     = "meta/epoch"
 )
 
 // NewService opens a nameserver over the given metadata store. Existing
@@ -139,6 +161,9 @@ func NewService(store *kvstore.Store, rng *rand.Rand) (*Service, error) {
 		var fi FileInfo
 		if err := json.Unmarshal(v, &fi); err == nil {
 			s.files[fi.Name] = fi
+			if fi.Version > s.verSeq {
+				s.verSeq = fi.Version
+			}
 		}
 		return true
 	})
@@ -154,6 +179,31 @@ func NewService(store *kvstore.Store, rng *rand.Rand) (*Service, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Epoch and version sequence survive graceful restarts. The sequence
+	// restores to the maximum of every persisted file version and the
+	// checkpointed sequence — the checkpoint covers versions burned by
+	// deletes, which live in no file record but must never be re-issued.
+	if v, ok, err := store.Get([]byte(epochKey)); err != nil {
+		return nil, err
+	} else if ok {
+		var rec epochRecord
+		if err := json.Unmarshal(v, &rec); err == nil {
+			if rec.Epoch > s.epoch {
+				s.epoch = rec.Epoch
+			}
+			if rec.VerSeq > s.verSeq {
+				s.verSeq = rec.VerSeq
+			}
+		}
+	}
+	if s.verSeq > s.epoch {
+		// A crash between persisting a mutated record and its epoch bump
+		// leaves file versions ahead of the checkpoint. Raise the epoch to
+		// match: a too-large epoch only disables the Validate fast path,
+		// while a too-small one could blanket-renew leases that predate the
+		// unpersisted mutation.
+		s.epoch = s.verSeq
 	}
 	return s, nil
 }
@@ -311,11 +361,12 @@ func (s *Service) ReplaceReplica(name, oldServerID string, repl ReplicaLoc) erro
 		replicas[idx] = repl
 	}
 	fi.Replicas = replicas
+	fi.Version = s.nextVersionLocked()
 	if err := s.persist(filePrefix+name, fi); err != nil {
 		return err
 	}
 	s.files[name] = fi
-	return nil
+	return s.bumpEpochLocked()
 }
 
 // Servers lists registered dataservers sorted by id.
@@ -337,10 +388,7 @@ func (s *Service) Create(name string, opts CreateOptions) (FileInfo, error) {
 	if err != nil {
 		return FileInfo{}, err
 	}
-	if err := s.InstallFile(fi); err != nil {
-		return FileInfo{}, err
-	}
-	return fi, nil
+	return s.InstallFile(fi)
 }
 
 // PlanCreate performs the placement half of Create — validation, UUID
@@ -389,18 +437,58 @@ func (s *Service) PlanCreate(name string, opts CreateOptions) (FileInfo, error) 
 	return FileInfo{ID: id, Name: name, ChunkSize: chunk, Replicas: replicas}, nil
 }
 
+// nextVersionLocked issues the next FileInfo version. Caller holds s.mu.
+func (s *Service) nextVersionLocked() int64 {
+	s.verSeq++
+	return s.verSeq
+}
+
+// epochRecord is the persisted epoch checkpoint. It carries the version
+// sequence too: versions burned by deletes live in no file record, so
+// without the checkpoint a restart could re-issue them — and a client
+// still holding a deleted file's version could then get a false OK from
+// Validate against an unrelated record that reached the same number.
+type epochRecord struct {
+	Epoch  int64 `json:"epoch"`
+	VerSeq int64 `json:"verSeq"`
+}
+
+// bumpEpochLocked advances and persists the namespace epoch (with the
+// current version sequence). Caller holds s.mu and has already applied
+// the mutation the bump announces.
+func (s *Service) bumpEpochLocked() error {
+	s.epoch++
+	return s.persist(epochKey, epochRecord{Epoch: s.epoch, VerSeq: s.verSeq})
+}
+
+// Epoch returns the current namespace epoch: it advances exactly when a
+// file is installed, deleted, or has a replica replaced — the mutations
+// that can make a cached replica set stale.
+func (s *Service) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
 // InstallFile records a fully planned file, failing if the name is taken.
-func (s *Service) InstallFile(fi FileInfo) error {
+// The record is stamped with a fresh version and the namespace epoch
+// advances; the stamped record is returned so callers hand clients a
+// cache-ready (versioned) FileInfo.
+func (s *Service) InstallFile(fi FileInfo) (FileInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.files[fi.Name]; dup {
-		return fmt.Errorf("%w: %s", ErrExists, fi.Name)
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrExists, fi.Name)
 	}
+	fi.Version = s.nextVersionLocked()
 	if err := s.persist(filePrefix+fi.Name, fi); err != nil {
-		return err
+		return FileInfo{}, err
 	}
 	s.files[fi.Name] = fi
-	return nil
+	if err := s.bumpEpochLocked(); err != nil {
+		return FileInfo{}, err
+	}
+	return fi, nil
 }
 
 // pinnedLocked resolves an explicit replica server list. Caller must hold
@@ -544,6 +632,64 @@ func (s *Service) Lookup(name string) (FileInfo, error) {
 	return fi, nil
 }
 
+// Validation statuses returned by Validate for each checked entry.
+const (
+	// ValidateOK: the cached record is current; renew its lease.
+	ValidateOK = "ok"
+	// ValidateStale: the record changed; the fresh FileInfo is attached.
+	ValidateStale = "stale"
+	// ValidateGone: the file no longer exists; drop (or negatively cache)
+	// the entry.
+	ValidateGone = "gone"
+)
+
+// ValidateEntry is one cached record a client asks the nameserver to
+// check: the file name and the version the client holds.
+type ValidateEntry struct {
+	Name    string `json:"name"`
+	Version int64  `json:"version"`
+}
+
+// ValidateResult is the verdict for one ValidateEntry.
+type ValidateResult struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	// Info carries the fresh record when Status is ValidateStale.
+	Info *FileInfo `json:"info,omitempty"`
+}
+
+// Validate checks a batch of cached (name, version) pairs in one call —
+// the lease-renewal path. clientEpoch is the namespace epoch the client
+// last observed: when it still matches, every lease renews wholesale
+// (no namespace-shape mutation happened, so replica sets are intact;
+// sizes may have grown, but size drift is harmless and self-corrects on
+// read). Otherwise each entry is checked against the live table. The
+// current epoch is returned for the client to store.
+func (s *Service) Validate(clientEpoch int64, entries []ValidateEntry) ([]ValidateResult, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ValidateResult, len(entries))
+	if clientEpoch == s.epoch {
+		for i, e := range entries {
+			out[i] = ValidateResult{Name: e.Name, Status: ValidateOK}
+		}
+		return out, s.epoch
+	}
+	for i, e := range entries {
+		fi, ok := s.files[e.Name]
+		switch {
+		case !ok:
+			out[i] = ValidateResult{Name: e.Name, Status: ValidateGone}
+		case fi.Version == e.Version:
+			out[i] = ValidateResult{Name: e.Name, Status: ValidateOK}
+		default:
+			fresh := fi
+			out[i] = ValidateResult{Name: e.Name, Status: ValidateStale, Info: &fresh}
+		}
+	}
+	return out, s.epoch
+}
+
 // List returns metadata for every file whose name has the given prefix,
 // sorted by name.
 func (s *Service) List(prefix string) []FileInfo {
@@ -572,6 +718,12 @@ func (s *Service) Delete(name string) (FileInfo, error) {
 		return FileInfo{}, err
 	}
 	delete(s.files, name)
+	// Burn a version so a future re-create of the same name can never
+	// reuse one a stale client still holds, then announce the shape change.
+	s.nextVersionLocked()
+	if err := s.bumpEpochLocked(); err != nil {
+		return FileInfo{}, err
+	}
 	return fi, nil
 }
 
@@ -588,6 +740,11 @@ func (s *Service) ReportSize(name string, sizeBytes int64) error {
 		return nil
 	}
 	fi.SizeBytes = sizeBytes
+	// A size report bumps the record version (so Validate refreshes the
+	// size on stale clients) but not the epoch: the replica set is intact,
+	// and the epoch fast path tolerates size-only drift (sizes only grow
+	// and every dataserver read self-corrects).
+	fi.Version = s.nextVersionLocked()
 	if err := s.persist(filePrefix+name, fi); err != nil {
 		return err
 	}
@@ -645,13 +802,23 @@ func (s *Service) Rebuild(ctx context.Context, sc Scanner) error {
 		}
 	}
 	s.files = make(map[string]FileInfo, len(rebuilt))
-	for name, fi := range rebuilt {
+	names := make([]string, 0, len(rebuilt))
+	for name := range rebuilt {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fi := rebuilt[name]
+		// Every rebuilt record gets a fresh version: clients that cached
+		// metadata before the crash must revalidate, since the scan may
+		// have recovered different sizes or dropped files.
+		fi.Version = s.nextVersionLocked()
 		if err := s.persist(filePrefix+name, fi); err != nil {
 			return err
 		}
 		s.files[name] = fi
 	}
-	return nil
+	return s.bumpEpochLocked()
 }
 
 // NumFiles returns the number of files.

@@ -21,6 +21,8 @@ type Metadata interface {
 	Servers() []ServerInfo
 	Create(name string, opts CreateOptions) (FileInfo, error)
 	Lookup(name string) (FileInfo, error)
+	Validate(clientEpoch int64, entries []ValidateEntry) ([]ValidateResult, int64)
+	Epoch() int64
 	List(prefix string) []FileInfo
 	Delete(name string) (FileInfo, error)
 	ReportSize(name string, sizeBytes int64) error
@@ -117,7 +119,7 @@ func (rs *ReplicatedService) Apply(_ int64, value []byte) {
 		if cmd.Info == nil {
 			err = errors.New("nameserver: create command without file info")
 		} else {
-			err = rs.svc.InstallFile(*cmd.Info)
+			_, err = rs.svc.InstallFile(*cmd.Info)
 		}
 	case opDelete:
 		_, err = rs.svc.Delete(cmd.Name)
@@ -215,11 +217,30 @@ func (rs *ReplicatedService) Create(name string, opts CreateOptions) (FileInfo, 
 	if err := rs.replicate(command{Op: opCreate, Info: &fi}); err != nil {
 		return FileInfo{}, err
 	}
+	// The apply stamped a version; hand back the installed record so the
+	// caller caches a versioned FileInfo. If a later committed delete
+	// already removed it (or the name was re-created), fall back to the
+	// unversioned plan — caching it just fails the next validation, which
+	// is the correct outcome.
+	if installed, err := rs.svc.Lookup(fi.Name); err == nil && installed.ID == fi.ID {
+		return installed, nil
+	}
 	return fi, nil
 }
 
 // Lookup serves a file's metadata from local state.
 func (rs *ReplicatedService) Lookup(name string) (FileInfo, error) { return rs.svc.Lookup(name) }
+
+// Validate checks cached leases against local state. Local reads may
+// trail the log, but a lagging verdict is no worse than the lagging
+// Lookup the client would otherwise issue — staleness stays bounded by
+// the lease, exactly as with the centralized service.
+func (rs *ReplicatedService) Validate(clientEpoch int64, entries []ValidateEntry) ([]ValidateResult, int64) {
+	return rs.svc.Validate(clientEpoch, entries)
+}
+
+// Epoch reports the local namespace epoch.
+func (rs *ReplicatedService) Epoch() int64 { return rs.svc.Epoch() }
 
 // List serves the file listing from local state.
 func (rs *ReplicatedService) List(prefix string) []FileInfo { return rs.svc.List(prefix) }

@@ -16,6 +16,7 @@ const (
 	MethodRegister   = "ns.Register"
 	MethodCreate     = "ns.Create"
 	MethodLookup     = "ns.Lookup"
+	MethodValidate   = "ns.Validate"
 	MethodList       = "ns.List"
 	MethodDelete     = "ns.Delete"
 	MethodReportSize = "ns.ReportSize"
@@ -45,6 +46,18 @@ type reportSizeArgs struct {
 	SizeBytes int64  `json:"sizeBytes"`
 }
 
+type validateArgs struct {
+	// Epoch is the namespace epoch the client last observed; a match
+	// renews every lease in one shot.
+	Epoch   int64           `json:"epoch"`
+	Entries []ValidateEntry `json:"entries"`
+}
+
+type validateReply struct {
+	Epoch   int64            `json:"epoch"`
+	Results []ValidateResult `json:"results"`
+}
+
 // RegisterRPC exposes a nameserver (centralized Service or
 // Paxos-replicated ReplicatedService) on a wire server.
 func RegisterRPC(srv *wire.Server, svc Metadata) error {
@@ -69,6 +82,17 @@ func RegisterRPC(srv *wire.Server, svc Metadata) error {
 				return nil, err
 			}
 			return svc.Lookup(a.Name)
+		},
+		MethodValidate: func(_ context.Context, params json.RawMessage) (any, error) {
+			var a validateArgs
+			if err := json.Unmarshal(params, &a); err != nil {
+				return nil, err
+			}
+			results, epoch := svc.Validate(a.Epoch, a.Entries)
+			if results == nil {
+				results = []ValidateResult{}
+			}
+			return validateReply{Epoch: epoch, Results: results}, nil
 		},
 		MethodList: func(_ context.Context, params json.RawMessage) (any, error) {
 			var a listArgs
@@ -146,6 +170,18 @@ func (c *Client) Lookup(ctx context.Context, name string) (FileInfo, error) {
 	var fi FileInfo
 	err := c.c.Call(ctx, MethodLookup, nameArgs{Name: name}, &fi)
 	return fi, mapError(err)
+}
+
+// Validate checks a batch of cached (name, version) pairs — the lease
+// renewal path. epoch is the namespace epoch last observed by the
+// caller; the current epoch is returned alongside per-entry verdicts.
+func (c *Client) Validate(ctx context.Context, epoch int64, entries []ValidateEntry) ([]ValidateResult, int64, error) {
+	var reply validateReply
+	err := c.c.Call(ctx, MethodValidate, validateArgs{Epoch: epoch, Entries: entries}, &reply)
+	if err != nil {
+		return nil, 0, mapError(err)
+	}
+	return reply.Results, reply.Epoch, nil
 }
 
 // List fetches metadata for files with the given name prefix.

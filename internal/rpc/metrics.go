@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"sync"
 
 	"github.com/mayflower-dfs/mayflower/internal/obs"
 )
@@ -29,6 +30,47 @@ func newPeerMetrics(opts Options, addr string) *peerMetrics {
 		r.RegisterGauge(base+"inflight", &m.inflight)
 	}
 	return m
+}
+
+// MethodMetrics returns an interceptor that counts calls and errors per
+// RPC method under "<prefix>.method.<method>.{calls,errors}", aggregated
+// across peers. The client installs it to make metadata-path load
+// directly observable (e.g. "client.rpc.method.ns.Lookup.calls" versus
+// "...ns.Validate.calls" shows what the lease cache saves); counters are
+// created lazily on first use of each method.
+func MethodMetrics(r *obs.Registry, prefix string) Interceptor {
+	var mu sync.Mutex
+	counters := make(map[string]*methodCounters)
+	get := func(method string) *methodCounters {
+		mu.Lock()
+		defer mu.Unlock()
+		mc, ok := counters[method]
+		if !ok {
+			base := prefix + ".method." + method + "."
+			mc = &methodCounters{
+				calls:  r.Counter(base + "calls"),
+				errors: r.Counter(base + "errors"),
+			}
+			counters[method] = mc
+		}
+		return mc
+	}
+	return func(_ string, next CallFunc) CallFunc {
+		return func(ctx context.Context, method string, args, reply any) error {
+			mc := get(method)
+			mc.calls.Inc()
+			err := next(ctx, method, args, reply)
+			if err != nil {
+				mc.errors.Inc()
+			}
+			return err
+		}
+	}
+}
+
+type methodCounters struct {
+	calls  *obs.Counter
+	errors *obs.Counter
 }
 
 // instrument is the built-in outermost interceptor: per-call and

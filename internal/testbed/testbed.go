@@ -502,6 +502,9 @@ func (c *Cluster) clientOptionsLocked(name string) client.Options {
 		NameserverAddr: c.nsAddr,
 		Host:           name,
 		Rand:           rand.New(rand.NewSource(c.rng.Int63())),
+		// Lease expiry must tick in fabric time: under a compressed clock
+		// a wall-clock TTL would effectively shrink by the speedup factor.
+		Clock: c.clock,
 	}
 	switch c.mode {
 	case ModeMayflower:
