@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race figures-smoke fuzz bench bench-check cover check clean
+.PHONY: all build vet fmt-check test race figures-smoke shards-golden fuzz bench bench-check cover check clean
 
 all: build
 
@@ -32,6 +32,17 @@ figures-smoke:
 		-run 'TestSweep|TestGolden|TestRunParallelFlagsMatchSequential' \
 		./internal/experiment ./cmd/mayflower-sim
 
+# shards-golden proves the sharded control plane is a byte-identical
+# drop-in at -shards 1: the Figure 4/6b/7/9 pipelines rerun through the
+# flowctl single-shard plane and must reproduce the committed golden
+# tables byte for byte, and the flowctl conformance suite (ownership,
+# digest staleness, epoch failover) runs at -race on top.
+shards-golden:
+	$(GO) test -race -count=1 \
+		-run 'TestGoldenShards1ByteIdentity|TestGoldenShardSweep|TestShardSweepWorkerInvariance|TestShardedRunCompletes' \
+		./internal/experiment
+	$(GO) test -race -count=1 ./internal/flowctl
+
 # cover runs the suite with coverage (-short: the timing-sensitive paced
 # emulation tests distort under instrumentation and are covered by the race
 # job), writes the profile to cover.out and the per-package summary plus
@@ -51,8 +62,8 @@ fuzz:
 # baseline for the incremental allocator, the write path, and the
 # control-plane session layer.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$|^BenchmarkLookupCached$$|^BenchmarkLookupBatchValidate$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc ./internal/client ./internal/nameserver \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkSelectSharded$$|^BenchmarkDigestMerge$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$|^BenchmarkLookupCached$$|^BenchmarkLookupBatchValidate$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/flowctl ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc ./internal/client ./internal/nameserver \
 		| $(GO) run ./cmd/bench2json > BENCH_selection.json
 	@cat BENCH_selection.json
 
@@ -63,8 +74,8 @@ bench:
 # warm-up allocations tip the allocs/op average. CI's bench-smoke job
 # runs this.
 bench-check:
-	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$|^BenchmarkLookupCached$$|^BenchmarkLookupBatchValidate$$' \
-		-benchmem -timeout 0 ./internal/flowserver ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc ./internal/client ./internal/nameserver \
+	$(GO) test -run '^$$' -bench '^BenchmarkSelect$$|^BenchmarkSelectSharded$$|^BenchmarkDigestMerge$$|^BenchmarkNetsimChurn$$|^BenchmarkSweepFigure6b$$|^BenchmarkAppendReplicated$$|^BenchmarkRPCRoundTrip$$|^BenchmarkRPCPooledFanout$$|^BenchmarkLookupCached$$|^BenchmarkLookupBatchValidate$$' \
+		-benchmem -timeout 0 ./internal/flowserver ./internal/flowctl ./internal/netsim ./internal/experiment ./internal/dataserver ./internal/rpc ./internal/client ./internal/nameserver \
 		| $(GO) run ./cmd/bench2json -compare BENCH_selection.json -max-regress 0.20
 
 check: build vet fmt-check race

@@ -4,6 +4,15 @@
 // counters to model per-flow bandwidth, and it serves the replica-path
 // selection RPC that clients (or any other distributed application — the
 // service is not tied to Mayflower, §5) call before starting a transfer.
+//
+// With -shards N (and -shard-id K) the process runs one shard of the
+// partitioned flowctl control plane instead of the monolithic server:
+// it serves selections for the pods the shard directory assigns it,
+// exchanges foreign commits and utilization digests with its peer
+// shards (-peers), and renews an epoch-numbered lease against the
+// directory (-directory-addr; one process, usually shard 0, also hosts
+// the directory via -directory-listen). Clients and dataservers resolve
+// pod ownership through the directory and re-route on epoch bumps.
 package main
 
 import (
@@ -14,11 +23,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/mayflower-dfs/mayflower/internal/flowctl"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/obs"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/sdn"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
 	"github.com/mayflower-dfs/mayflower/internal/wire"
@@ -47,9 +59,26 @@ func run(args []string) error {
 		eaMbps    = fs.Float64("edgeagg-mbps", 1000, "edge-aggregation link capacity (Mbps)")
 		acMbps    = fs.Float64("aggcore-mbps", 500, "aggregation-core link capacity (Mbps)")
 		debugAddr = fs.String("debug-addr", "", "serve /debug/metrics (selection/poll counters, runtime gauges) on this address")
+
+		shards    = fs.Int("shards", 1, "total flowctl shard count (1 runs the monolithic server)")
+		shardID   = fs.Int("shard-id", 0, "this process's shard index in [0, shards)")
+		peers     = fs.String("peers", "", "comma-separated selection RPC addresses of all shards, index-ordered (required when -shards > 1)")
+		dirListen = fs.String("directory-listen", "", "also host the shard directory on this address (one process per deployment)")
+		dirAddr   = fs.String("directory-addr", "", "shard directory to heartbeat against (defaults to -directory-listen)")
+		heartbeat = fs.Duration("heartbeat", time.Second, "shard lease renewal interval; the lease TTL is 3x this")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *shardID < 0 || *shardID >= *shards {
+		return fmt.Errorf("-shard-id %d out of range for %d shards", *shardID, *shards)
+	}
+	sharded := *shards > 1 || *dirListen != "" || *dirAddr != ""
+	if sharded && *multi {
+		return fmt.Errorf("-multiread needs the monolithic server: §4.3 splitting is not partitioned")
 	}
 
 	topo, err := topology.New(topology.Config{
@@ -75,11 +104,69 @@ func run(args []string) error {
 
 	reg := obs.NewRegistry()
 	start := time.Now()
-	srv := flowserver.New(topo, flowserver.Options{
-		MultiReplica: *multi,
-		Now:          func() float64 { return time.Since(start).Seconds() },
-		Metrics:      reg,
-	})
+	now := func() float64 { return time.Since(start).Seconds() }
+
+	// The selection service is either the monolithic flowserver or one
+	// flowctl shard; both satisfy flowserver.Service and feed the same
+	// counter-poll loop.
+	var (
+		svc      flowserver.Service
+		sink     statsSink
+		pollTick func()
+		shard    *flowctl.Shard
+		pool     *rpc.Pool
+	)
+	if !sharded {
+		srv := flowserver.New(topo, flowserver.Options{
+			MultiReplica: *multi,
+			Now:          now,
+			Metrics:      reg,
+		})
+		svc, sink = srv, srv
+	} else {
+		pool = rpc.NewPool(rpc.Options{Metrics: reg, MetricsPrefix: "flowserver.rpc"})
+		defer pool.Close()
+		met := flowctl.NewMetrics()
+		met.Register(reg)
+		// The directory's initial layout: pod p belongs to shard p mod N
+		// under epoch 1. A shard boots with the same map and converges to
+		// the directory's via heartbeats.
+		owner := make([]int, *pods)
+		for p := range owner {
+			owner[p] = p % *shards
+		}
+		shard, err = flowctl.NewShard(topo, flowctl.ShardConfig{
+			Index:   *shardID,
+			Shards:  *shards,
+			Owner:   owner,
+			Epoch:   1,
+			Now:     now,
+			Metrics: met,
+		})
+		if err != nil {
+			return err
+		}
+		if *shards > 1 {
+			addrs := strings.Split(*peers, ",")
+			if len(addrs) != *shards {
+				return fmt.Errorf("-peers lists %d addresses for %d shards", len(addrs), *shards)
+			}
+			mkCtx := func() (context.Context, context.CancelFunc) {
+				return context.WithTimeout(context.Background(), 2*time.Second)
+			}
+			links := make([]flowctl.ShardLink, *shards)
+			for k, a := range addrs {
+				if k == *shardID {
+					continue
+				}
+				links[k] = flowctl.NewRPCShardLink(pool.Peer(strings.TrimSpace(a)), mkCtx)
+			}
+			shard.SetPeers(links)
+		}
+		svc, sink = shard, shard.Server()
+		pollTick = shard.RefreshDigests
+	}
+
 	if *debugAddr != "" {
 		obs.RegisterRuntimeMetrics(reg)
 		dbg, bound, err := obs.Serve(*debugAddr, reg)
@@ -90,7 +177,7 @@ func run(args []string) error {
 		log.Printf("flowserver: metrics on http://%s/debug/metrics", bound)
 	}
 
-	rpc := wire.NewServer()
+	rpcSrv := wire.NewServer()
 	hooks := flowserver.Hooks{
 		OnAssign: func(a flowserver.Assignment) {
 			for _, l := range a.Path {
@@ -109,20 +196,50 @@ func run(args []string) error {
 			}
 		},
 	}
-	if err := flowserver.RegisterRPC(rpc, srv, topo, hooks); err != nil {
+	if err := flowserver.RegisterRPC(rpcSrv, svc, topo, hooks); err != nil {
 		return err
+	}
+	if shard != nil {
+		if err := flowctl.RegisterShardRPC(rpcSrv, shard, now); err != nil {
+			return err
+		}
 	}
 	ln, err := net.Listen("tcp", *rpcAddr)
 	if err != nil {
 		return err
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- rpc.Serve(ln) }()
+	go func() { errc <- rpcSrv.Serve(ln) }()
 	log.Printf("flowserver: RPC on %s, controller on %s, polling every %v", ln.Addr(), ofBound, *poll)
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
-	go pollStats(controller, srv, topo, *poll, start, stop, done)
+	go pollStats(controller, sink, topo, *poll, start, pollTick, stop, done)
+
+	// Directory: optionally hosted here, heartbeated against either way.
+	if *dirListen != "" {
+		dir, err := flowctl.NewDirectory(*pods, *shards)
+		if err != nil {
+			return err
+		}
+		dirSrv := wire.NewServer()
+		if err := flowctl.RegisterDirectoryRPC(dirSrv, dir, now); err != nil {
+			return err
+		}
+		dln, err := net.Listen("tcp", *dirListen)
+		if err != nil {
+			return err
+		}
+		go dirSrv.Serve(dln) //nolint:errcheck // Serve returns on Close
+		defer dirSrv.Close()
+		if *dirAddr == "" {
+			*dirAddr = dln.Addr().String()
+		}
+		log.Printf("flowserver: shard directory on %s", dln.Addr())
+	}
+	if sharded && *dirAddr != "" {
+		go heartbeatLoop(pool, *dirAddr, shard, *shardID, *pods, ln.Addr().String(), *heartbeat, stop)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -135,13 +252,61 @@ func run(args []string) error {
 		log.Printf("flowserver shutting down on %v", sig)
 		close(stop)
 		<-done
-		return rpc.Close()
+		return rpcSrv.Close()
+	}
+}
+
+// statsSink is where polled flow counters land: the monolithic server
+// or a shard's embedded one.
+type statsSink interface {
+	UpdateFlowStats(now float64, stats []flowserver.FlowStat)
+}
+
+// heartbeatLoop renews this shard's directory lease. An epoch change in
+// the reply means ownership moved while this shard was (or appeared)
+// away — the pod→shard map is rebuilt with per-pod Lookups so the shard
+// starts honoring (or refusing) the pods the directory says it owns.
+func heartbeatLoop(pool *rpc.Pool, dirAddr string, shard *flowctl.Shard, shardID, pods int,
+	selAddr string, interval time.Duration, stop <-chan struct{}) {
+
+	dc := flowctl.NewDirectoryClient(pool.Peer(dirAddr))
+	ttl := 3 * interval.Seconds()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var last int64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		epoch, err := dc.Heartbeat(ctx, shardID, selAddr, ttl)
+		if err == nil && epoch != last {
+			owner := make([]int, pods)
+			ok := true
+			for p := range owner {
+				rep, err := dc.Lookup(ctx, p)
+				if err != nil {
+					ok = false
+					break
+				}
+				owner[p] = rep.Shard
+			}
+			if ok {
+				shard.SetOwners(owner, epoch)
+				last = epoch
+			}
+		}
+		cancel()
 	}
 }
 
 // pollStats periodically collects per-flow byte counters from the edge
-// switches and feeds them to the Flowserver's bandwidth model.
-func pollStats(controller *sdn.Controller, srv *flowserver.Server, topo *topology.Topology, interval time.Duration, start time.Time, stop <-chan struct{}, done chan<- struct{}) {
+// switches and feeds them to the bandwidth model; in sharded mode each
+// poll also refreshes the peer digests (tick), which is what bounds
+// cross-shard staleness to the poll cadence.
+func pollStats(controller *sdn.Controller, sink statsSink, topo *topology.Topology, interval time.Duration, start time.Time, tick func(), stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -170,6 +335,9 @@ func pollStats(controller *sdn.Controller, srv *flowserver.Server, topo *topolog
 		for id, bits := range byFlow {
 			batch = append(batch, flowserver.FlowStat{ID: id, TransferredBits: bits})
 		}
-		srv.UpdateFlowStats(time.Since(start).Seconds(), batch)
+		sink.UpdateFlowStats(time.Since(start).Seconds(), batch)
+		if tick != nil {
+			tick()
+		}
 	}
 }

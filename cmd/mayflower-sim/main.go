@@ -15,10 +15,14 @@
 //	mayflower-sim -fig ablate-cost  # DESIGN.md ablation: Eq. 2 impact term
 //	mayflower-sim -fig ablate-freeze
 //	mayflower-sim -fig ablate-poll  # stats-poll interval sensitivity
+//	mayflower-sim -fig shards       # flowctl shard-count sweep
 //	mayflower-sim -fig all          # everything above
 //
 // Scale knobs: -jobs, -warmup, -files, -lambda, -seed, -oversub, -multi,
 // -write-frac (run a read/append mix through any figure).
+// Control plane: -shards N runs the Flowserver schemes on the sharded
+// flowctl plane (0 = the single in-process Flowserver; 1 is
+// byte-identical to 0; >= 2 partitions the link model by pod).
 // Parallelism: -j bounds how many sweep cells run concurrently (0 =
 // GOMAXPROCS); -trials repeats every figure cell on derived seeds and
 // reports Student-t confidence intervals over the trial means. Tables
@@ -54,7 +58,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mayflower-sim", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, 8, 9, multiread, background, ablate-cost, ablate-freeze, ablate-poll, all")
+		fig        = fs.String("fig", "4", "experiment to run: 4, 5, 6a, 6b, 7, 8, 9, multiread, background, ablate-cost, ablate-freeze, ablate-poll, shards, all")
 		jobs       = fs.Int("jobs", 1200, "number of read jobs per run")
 		warmup     = fs.Int("warmup", 100, "jobs excluded from statistics")
 		files      = fs.Int("files", 300, "catalog size")
@@ -72,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		metricsOut = fs.String("metrics-out", "", "write a JSON metrics snapshot (counters, drift histograms) to this file on exit")
 		progress   = fs.Bool("progress", false, "print per-scheme job progress to stderr")
 		writeFrac  = fs.Float64("write-frac", -1, "fraction of jobs run as appends; <0 keeps each figure's default (figure 9 sweeps its own fractions)")
+		shards     = fs.Int("shards", 0, "flowctl controller shards (0 = single in-process Flowserver; 1 is byte-identical to 0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +129,7 @@ func run(args []string, out io.Writer) error {
 	if *writeFrac >= 0 {
 		base.WriteFraction = *writeFrac
 	}
+	base.Shards = *shards
 	if *progress {
 		base.Progress = os.Stderr
 	}
@@ -144,7 +150,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "9", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll"} {
+		for _, name := range []string{"4", "5", "6a", "6b", "7", "8", "9", "multiread", "background", "ablate-cost", "ablate-freeze", "ablate-poll", "shards"} {
 			if err := runOne(out, name, base, *asCSV); err != nil {
 				return err
 			}
@@ -276,6 +282,16 @@ func runOne(out io.Writer, name string, base experiment.Config, asCSV bool) erro
 			return err
 		}
 		return experiment.WriteSweep(out, sw, "interval")
+	case "shards":
+		fmt.Fprintln(out, "=== Control plane: flowctl shard-count sweep ===")
+		sw, err := experiment.ShardSweep(base, nil)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return experiment.WriteSweepCSV(out, sw, "shards")
+		}
+		return experiment.WriteSweep(out, sw, "shards")
 	default:
 		return fmt.Errorf("unknown figure %q", name)
 	}

@@ -103,6 +103,7 @@ func Scenarios() []Scenario {
 		{Name: "KillPrimaryMidAppend", Run: KillPrimaryMidAppend},
 		{Name: "FlowserverUnreachable", Run: FlowserverUnreachable},
 		{Name: "FlowserverStall", Run: FlowserverStall},
+		{Name: "KillFlowserverShardMidSelect", Run: KillFlowserverShardMidSelect},
 		{Name: "NameserverReplicaCrash", Run: NameserverReplicaCrash},
 		{Name: "StaleCacheAfterRepair", Run: StaleCacheAfterRepair},
 		{Name: "PartitionRack", Run: PartitionRack},

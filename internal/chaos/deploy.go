@@ -37,13 +37,23 @@ type deployment struct {
 // newDeployment boots a cluster for a scenario. HeartbeatInterval is
 // shrunk so death detection fits scenario time.
 func newDeployment(t *T, mode testbed.Mode) (*deployment, error) {
-	cluster, err := testbed.NewCluster(testbed.ClusterConfig{
+	return newDeploymentWith(t, mode, nil)
+}
+
+// newDeploymentWith boots a cluster with scenario-specific tweaks to the
+// stock config (sharded flow plane, say) applied by mutate.
+func newDeploymentWith(t *T, mode testbed.Mode, mutate func(*testbed.ClusterConfig)) (*deployment, error) {
+	cfg := testbed.ClusterConfig{
 		Mode:              mode,
 		Topo:              chaosTopo(),
 		Seed:              t.Seed,
 		WorkDir:           t.WorkDir,
 		HeartbeatInterval: 50 * time.Millisecond,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cluster, err := testbed.NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}

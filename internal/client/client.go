@@ -56,6 +56,18 @@ type Options struct {
 	// client picks replicas uniformly at random (the degraded mode the
 	// paper compares against).
 	FlowserverAddr string
+	// FlowDirectoryAddr, when set (and FlowserverAddr is empty), routes
+	// selections through the sharded flowctl control plane: the client
+	// resolves the shard owning its pod against this directory service,
+	// caches the route under the directory epoch for FlowRouteTTL, and
+	// rebinds whenever a Lookup returns a higher epoch — a failed-over
+	// shard must not keep serving new Selects from a stale cached peer.
+	// Requires Host to parse under Locate (the pod is the routing key).
+	FlowDirectoryAddr string
+	// FlowRouteTTL is how long a resolved shard route is reused before
+	// the directory is consulted again (5 s if zero). Select failures
+	// re-resolve immediately regardless.
+	FlowRouteTTL time.Duration
 	// Host is the topology host name this client runs on, passed to the
 	// Flowserver for path selection.
 	Host string
@@ -184,6 +196,7 @@ type Client struct {
 	pool *rpc.Pool // one shared session per control-plane address
 	ns   *nameserver.Client
 	fs   *flowserver.RPCClient
+	fr   *flowRouter // directory-routed Flowserver (sharded control plane)
 
 	cache *metaCache
 
@@ -288,6 +301,17 @@ func New(opts Options) (*Client, error) {
 		// unreachable Flowserver degrades reads to locality-order replica
 		// selection instead of failing them.
 		c.fs = flowserver.NewRPCClient(pool.Peer(opts.FlowserverAddr))
+	} else if opts.FlowDirectoryAddr != "" {
+		pod, _, ok := opts.Locate(opts.Host)
+		if !ok {
+			pool.Close()
+			return nil, fmt.Errorf("client: FlowDirectoryAddr routing needs a locatable Host, got %q", opts.Host)
+		}
+		ttl := opts.FlowRouteTTL
+		if ttl == 0 {
+			ttl = 5 * time.Second
+		}
+		c.fr = newFlowRouter(opts.FlowDirectoryAddr, pod, ttl.Seconds(), opts.Clock, pool)
 	}
 	return c, nil
 }
@@ -555,7 +579,7 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 	if len(buf) == 0 {
 		return nil
 	}
-	if primaryOnly || c.fs == nil {
+	if primaryOnly || (c.fs == nil && c.fr == nil) {
 		cands := []nameserver.ReplicaLoc{info.Primary()}
 		if !primaryOnly {
 			c.met.readsDegraded.Inc()
@@ -591,7 +615,7 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 		sctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
-	assignments, err := c.fs.Select(sctx, flowserver.SelectArgs{
+	assignments, fstub, err := c.flowSelect(sctx, flowserver.SelectArgs{
 		ClientHost:   c.opts.Host,
 		ReplicaHosts: hosts,
 		Bits:         float64(len(buf)) * 8,
@@ -645,9 +669,11 @@ func (c *Client) readSegment(ctx context.Context, name string, info nameserver.F
 			errs[i] = c.readWithFailover(ctx, name, info, c.orderCandidates(info, &rep), tag, off, sub, false)
 			// Always release the flow table entry, even when the read (or
 			// its context) failed — on a fresh context so cancellation
-			// cannot leak control-plane state.
+			// cannot leak control-plane state. The release goes to the
+			// stub that issued the assignment: under directory routing
+			// only the coordinating shard knows the flow.
 			fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			_ = c.fs.Finished(fctx, flowserver.FlowID(flowID))
+			_ = fstub.Finished(fctx, flowserver.FlowID(flowID))
 			cancel()
 		}()
 		segStart += segLen

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/fabric"
+	"github.com/mayflower-dfs/mayflower/internal/flowctl"
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
+)
+
+// flowRouter resolves which flowctl shard serves this client's pod and
+// caches the route under its directory epoch. With a sharded control
+// plane the Flowserver address is not static configuration: the shard
+// owning a pod changes when the directory fails a dead shard over, and
+// the bump of the directory epoch is the only signal. The router's
+// contract is therefore epoch-checked rebinding: a cached peer bound
+// under epoch E must stop serving new Selects the moment a Lookup
+// returns epoch > E — even while the old shard's process is still
+// alive and its pooled session still connected. (Routing new work to a
+// live-but-deposed shard would split the pod's flow bookkeeping across
+// two models; the regression test in flowroute_test.go pins this.)
+type flowRouter struct {
+	dc    *flowctl.DirectoryClient
+	pool  *rpc.Pool
+	pod   int
+	ttl   float64 // route reuse window, fabric seconds
+	clock fabric.Clock
+
+	mu    sync.Mutex
+	cur   *flowserver.RPCClient
+	addr  string
+	epoch int64
+	fresh float64 // route trusted until (fabric seconds)
+	have  bool
+}
+
+func newFlowRouter(dirAddr string, pod int, ttl float64, clock fabric.Clock, pool *rpc.Pool) *flowRouter {
+	if clock == nil {
+		clock = fabric.NewWallClock()
+	}
+	return &flowRouter{
+		dc:    flowctl.NewDirectoryClient(pool.Peer(dirAddr)),
+		pool:  pool,
+		pod:   pod,
+		ttl:   ttl,
+		clock: clock,
+	}
+}
+
+// stub returns the Flowserver stub for the shard currently owning this
+// client's pod, resolving through the directory when the cached route's
+// reuse window lapsed. A Lookup failure degrades to the cached route if
+// one exists (a stale shard beats none — Select itself will fail over),
+// else reports the error so the caller runs degraded.
+func (fr *flowRouter) stub(ctx context.Context) (*flowserver.RPCClient, error) {
+	now := fr.clock.Now()
+	fr.mu.Lock()
+	if fr.have && now < fr.fresh {
+		cur := fr.cur
+		fr.mu.Unlock()
+		return cur, nil
+	}
+	fr.mu.Unlock()
+
+	rep, err := fr.dc.Lookup(ctx, fr.pod)
+
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if err != nil {
+		if fr.have {
+			return fr.cur, nil
+		}
+		return nil, err
+	}
+	switch {
+	case !fr.have, rep.Epoch > fr.epoch:
+		// Fresh route, or the directory moved ownership (failover bumped
+		// the epoch): bind to the new owner. The old peer session stays
+		// in the pool for other uses but serves no further Selects here.
+		fr.bind(rep.Addr, rep.Epoch)
+	case rep.Epoch == fr.epoch && rep.Addr != fr.addr:
+		// Same epoch, new address: the shard re-registered (restart).
+		fr.bind(rep.Addr, rep.Epoch)
+	default:
+		// rep.Epoch < fr.epoch: a stale directory replica answered with
+		// ownership this client already knows to be superseded. Keep the
+		// newer binding — rebinding backwards would reintroduce exactly
+		// the deposed-shard hazard the epoch exists to prevent.
+	}
+	fr.have = true
+	fr.fresh = now + fr.ttl
+	return fr.cur, nil
+}
+
+func (fr *flowRouter) bind(addr string, epoch int64) {
+	fr.cur = flowserver.NewRPCClient(fr.pool.Peer(addr))
+	fr.addr = addr
+	fr.epoch = epoch
+}
+
+// invalidate drops the cached route so the next stub() resolves through
+// the directory immediately — called after a Select against the cached
+// shard fails, which is how a client discovers a kill before its route
+// TTL lapses.
+func (fr *flowRouter) invalidate() {
+	fr.mu.Lock()
+	fr.have = false
+	fr.mu.Unlock()
+}
+
+// errNoFlowserver marks a selection attempted with neither a static
+// Flowserver address nor a resolvable directory route; callers degrade.
+var errNoFlowserver = errors.New("client: no flowserver configured")
+
+// flowStub returns the Flowserver stub to use for the next selection:
+// the statically configured one, the directory-routed one, or nil when
+// the client runs without a Flowserver (degraded replica selection).
+func (c *Client) flowStub(ctx context.Context) *flowserver.RPCClient {
+	if c.fs != nil {
+		return c.fs
+	}
+	if c.fr == nil {
+		return nil
+	}
+	stub, err := c.fr.stub(ctx)
+	if err != nil {
+		return nil
+	}
+	return stub
+}
+
+// flowSelect runs one read Select against the owning shard with
+// directory-driven re-routing: a failure invalidates the cached route,
+// re-resolves (picking up a freshly promoted shard), and retries once
+// before the caller degrades to locality-order selection.
+func (c *Client) flowSelect(ctx context.Context, args flowserver.SelectArgs) ([]flowserver.AssignmentDTO, *flowserver.RPCClient, error) {
+	stub := c.flowStub(ctx)
+	if stub == nil {
+		return nil, nil, errNoFlowserver
+	}
+	as, err := stub.Select(ctx, args)
+	if err == nil {
+		return as, stub, nil
+	}
+	if c.fr == nil || ctx.Err() != nil {
+		return nil, nil, err
+	}
+	c.fr.invalidate()
+	stub2, rerr := c.fr.stub(ctx)
+	if rerr != nil || stub2 == nil {
+		return nil, nil, err
+	}
+	as, err = stub2.Select(ctx, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return as, stub2, nil
+}

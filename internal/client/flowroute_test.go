@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowctl"
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
+	"github.com/mayflower-dfs/mayflower/internal/wire"
+)
+
+// startMarkedFlowserver serves fs.Select returning a fixed marker, so a
+// test can tell which shard a Select landed on.
+func startMarkedFlowserver(t *testing.T, marker string) string {
+	t.Helper()
+	srv := wire.NewServer()
+	err := srv.Register(flowserver.MethodSelect, func(_ context.Context, _ json.RawMessage) (any, error) {
+		return []flowserver.AssignmentDTO{{ReplicaHost: marker}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestFlowRouterRebindsOnEpochBump is the directory re-routing
+// regression test: once a pod's ownership moves under a new epoch, the
+// client's cached peer for the deposed shard must not serve another
+// Select — even though that shard's process is still alive and the
+// pooled session to it still healthy.
+func TestFlowRouterRebindsOnEpochBump(t *testing.T) {
+	addr0 := startMarkedFlowserver(t, "shard0")
+	addr1 := startMarkedFlowserver(t, "shard1")
+
+	dir, err := flowctl.NewDirectory(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Heartbeat(0, addr0, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Heartbeat(1, addr1, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	dirSrv := wire.NewServer()
+	if err := flowctl.RegisterDirectoryRPC(dirSrv, dir, func() float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	dirLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dirSrv.Serve(dirLn) //nolint:errcheck
+	defer dirSrv.Close()
+
+	pool := rpc.NewPool(rpc.Options{})
+	defer pool.Close()
+	// ttl < 0: every stub() consults the directory, so the test observes
+	// the rebind on the very next Select after the epoch bump.
+	fr := newFlowRouter(dirLn.Addr().String(), 1, -1, nil, pool)
+
+	ctx := context.Background()
+	selectVia := func() string {
+		t.Helper()
+		stub, err := fr.stub(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := stub.Select(ctx, flowserver.SelectArgs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return as[0].ReplicaHost
+	}
+
+	// Pod 1 belongs to shard 1.
+	if got := selectVia(); got != "shard1" {
+		t.Fatalf("pre-failover Select landed on %q, want shard1", got)
+	}
+
+	// Shard 1 is declared dead; the directory promotes pod 1 to shard 0
+	// under a new epoch. Shard 1's server keeps running — the stale peer
+	// stays perfectly reachable, which is exactly the hazard.
+	if _, changed := dir.MarkDead(1); !changed {
+		t.Fatal("MarkDead(1) changed nothing")
+	}
+	if got := selectVia(); got != "shard0" {
+		t.Fatalf("post-failover Select landed on %q, want shard0 (stale peer still serving)", got)
+	}
+
+	// A lower-epoch answer must never rebind backwards: re-binding is
+	// monotone in the epoch.
+	fr.mu.Lock()
+	epoch := fr.epoch
+	fr.mu.Unlock()
+	if epoch < 2 {
+		t.Fatalf("router epoch after failover = %d, want >= 2", epoch)
+	}
+}
+
+// TestFlowRouterCachesWithinTTL: with a positive TTL the route is
+// reused without a directory round trip (the epoch check happens at
+// refresh time, not per call).
+func TestFlowRouterCachesWithinTTL(t *testing.T) {
+	addr1 := startMarkedFlowserver(t, "shard1")
+	dir, err := flowctl.NewDirectory(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Heartbeat(0, addr1, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Heartbeat(1, addr1, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	dirSrv := wire.NewServer()
+	if err := flowctl.RegisterDirectoryRPC(dirSrv, dir, func() float64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	dirLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dirSrv.Serve(dirLn) //nolint:errcheck
+
+	pool := rpc.NewPool(rpc.Options{})
+	defer pool.Close()
+	fr := newFlowRouter(dirLn.Addr().String(), 0, 3600, nil, pool)
+	ctx := context.Background()
+	if _, err := fr.stub(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dirSrv.Close() // directory gone; the cached route must still serve
+	if stub, err := fr.stub(ctx); err != nil || stub == nil {
+		t.Fatalf("cached route not honored after directory loss: %v", err)
+	}
+}

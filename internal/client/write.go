@@ -93,9 +93,11 @@ func (c *Client) appendAttempt(ctx context.Context, name string, info nameserver
 }
 
 // writeFlow tracks the control-plane registration of one append's
-// client→primary transfer.
+// client→primary transfer, pinned to the stub that issued it so the
+// release reaches the coordinating shard under directory routing.
 type writeFlow struct {
 	id     flowserver.FlowID
+	fs     *flowserver.RPCClient
 	active bool
 }
 
@@ -103,7 +105,7 @@ type writeFlow struct {
 // the Flowserver: the primary is the flow's receiver, this client the
 // sender. Errors degrade to an unscheduled write.
 func (c *Client) registerWriteFlow(ctx context.Context, primaryHost string, bits float64) writeFlow {
-	if c.fs == nil || c.opts.Host == "" {
+	if (c.fs == nil && c.fr == nil) || c.opts.Host == "" {
 		c.met.writesDegraded.Inc()
 		return writeFlow{}
 	}
@@ -113,7 +115,7 @@ func (c *Client) registerWriteFlow(ctx context.Context, primaryHost string, bits
 		sctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
-	as, err := c.fs.Select(sctx, flowserver.SelectArgs{
+	as, stub, err := c.flowSelect(sctx, flowserver.SelectArgs{
 		ClientHost:   primaryHost,
 		ReplicaHosts: []string{c.opts.Host},
 		Bits:         bits,
@@ -127,7 +129,7 @@ func (c *Client) registerWriteFlow(ctx context.Context, primaryHost string, bits
 		return writeFlow{}
 	}
 	c.met.writeFlows.Inc()
-	return writeFlow{id: as[0].FlowID, active: true}
+	return writeFlow{id: as[0].FlowID, fs: stub, active: true}
 }
 
 // finish releases the flow-table entry on a fresh bounded context,
@@ -139,7 +141,7 @@ func (wf *writeFlow) finish(c *Client) {
 	}
 	wf.active = false
 	fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	_ = c.fs.Finished(fctx, wf.id)
+	_ = wf.fs.Finished(fctx, wf.id)
 	cancel()
 }
 

@@ -1,0 +1,112 @@
+package dataserver
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowctl"
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
+)
+
+// dsFlowRouter resolves which flowctl shard owns this dataserver's pod
+// and caches the route under its directory epoch, mirroring the client's
+// flowRouter. The invariant is the same epoch-checked rebinding: a peer
+// bound under epoch E serves no further SelectWrite calls once a Lookup
+// reports epoch > E, and a stale lower-epoch answer never rebinds the
+// route backwards to a deposed shard.
+type dsFlowRouter struct {
+	dc   *flowctl.DirectoryClient
+	pool *rpc.Pool
+	pod  int
+	ttl  time.Duration
+
+	mu    sync.Mutex
+	cur   *flowserver.RPCClient
+	addr  string
+	epoch int64
+	fresh time.Time
+	have  bool
+}
+
+func newDSFlowRouter(dirAddr string, pod int, ttl time.Duration, pool *rpc.Pool) *dsFlowRouter {
+	if ttl == 0 {
+		ttl = 5 * time.Second
+	}
+	return &dsFlowRouter{
+		dc:   flowctl.NewDirectoryClient(pool.Peer(dirAddr)),
+		pool: pool,
+		pod:  pod,
+		ttl:  ttl,
+	}
+}
+
+// stub returns the Flowserver stub for the shard currently owning this
+// server's pod. A Lookup failure degrades to the cached route when one
+// exists; with none the caller relays in static order.
+func (fr *dsFlowRouter) stub(ctx context.Context) (*flowserver.RPCClient, error) {
+	now := time.Now()
+	fr.mu.Lock()
+	if fr.have && now.Before(fr.fresh) {
+		cur := fr.cur
+		fr.mu.Unlock()
+		return cur, nil
+	}
+	fr.mu.Unlock()
+
+	rep, err := fr.dc.Lookup(ctx, fr.pod)
+
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if err != nil {
+		if fr.have {
+			return fr.cur, nil
+		}
+		return nil, err
+	}
+	switch {
+	case !fr.have, rep.Epoch > fr.epoch:
+		fr.bind(rep.Addr, rep.Epoch)
+	case rep.Epoch == fr.epoch && rep.Addr != fr.addr:
+		// Same epoch, new address: the shard re-registered after a restart.
+		fr.bind(rep.Addr, rep.Epoch)
+	default:
+		// rep.Epoch < fr.epoch: stale directory replica; keep the newer
+		// binding — the epoch is the ownership order.
+	}
+	fr.have = true
+	fr.fresh = now.Add(fr.ttl)
+	return fr.cur, nil
+}
+
+func (fr *dsFlowRouter) bind(addr string, epoch int64) {
+	fr.cur = flowserver.NewRPCClient(fr.pool.Peer(addr))
+	fr.addr = addr
+	fr.epoch = epoch
+}
+
+// invalidate drops the cached route so the next stub() re-resolves —
+// how the relay path discovers a killed shard before the TTL lapses.
+func (fr *dsFlowRouter) invalidate() {
+	fr.mu.Lock()
+	fr.have = false
+	fr.mu.Unlock()
+}
+
+// flowStub picks the Flowserver stub for the next relay plan: the
+// statically configured one, the directory-routed one, or nil when this
+// server relays in static order without flow registration.
+func (s *Server) flowStub(ctx context.Context) *flowserver.RPCClient {
+	if s.fsc != nil {
+		return s.fsc
+	}
+	if s.fr == nil {
+		return nil
+	}
+	stub, err := s.fr.stub(ctx)
+	if err != nil {
+		return nil
+	}
+	return stub
+}

@@ -74,6 +74,16 @@ type Config struct {
 	// each relay hop as a scheduled flow. Empty keeps the static replica
 	// order with no flow registration.
 	FlowserverAddr string
+	// FlowDirectoryAddr, when set (and FlowserverAddr is not), routes
+	// relay planning through the flowctl shard directory: the server
+	// resolves the shard owning its own Pod and re-resolves when the
+	// directory epoch bumps (shard failover) or a call fails. Static
+	// FlowserverAddr wins when both are set.
+	FlowDirectoryAddr string
+	// FlowRouteTTL is how long a resolved shard route is reused before
+	// consulting the directory again (5 s if zero; negative re-resolves
+	// on every relay plan — useful in tests).
+	FlowRouteTTL time.Duration
 	// ConnectTimeout bounds each control-plane TCP connect (nameserver,
 	// flowserver, replica peers); rpc.DefaultConnectTimeout if zero.
 	ConnectTimeout time.Duration
@@ -128,6 +138,7 @@ type Server struct {
 	ctl   *wire.Server
 	pool  *rpc.Pool // all outbound control sessions (ns, fs, peers)
 	fsc   *flowserver.RPCClient
+	fr    *dsFlowRouter // directory-routed alternative to fsc
 
 	mu        sync.Mutex
 	dataLn    net.Listener
@@ -172,6 +183,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FlowserverAddr != "" {
 		s.fsc = flowserver.NewRPCClient(s.pool.Peer(cfg.FlowserverAddr))
+	} else if cfg.FlowDirectoryAddr != "" {
+		s.fr = newDSFlowRouter(cfg.FlowDirectoryAddr, cfg.Pod, cfg.FlowRouteTTL, s.pool)
 	}
 	if cfg.Metrics != nil {
 		s.met.register(cfg.Metrics, cfg.ID)
@@ -510,7 +523,7 @@ func (s *Server) handleAppend(ctx context.Context, a AppendArgs) (AppendReply, e
 	if err != nil {
 		return AppendReply{}, err
 	}
-	order, flows := s.planRelay(ctx, info, float64(len(a.Data))*8)
+	order, flows, flowStub := s.planRelay(ctx, info, float64(len(a.Data))*8)
 	var relayErr error
 	for _, rep := range order {
 		if _, err := s.peer(rep.ControlAddr).AppendAt(ctx,
@@ -519,7 +532,7 @@ func (s *Server) handleAppend(ctx context.Context, a AppendArgs) (AppendReply, e
 			break
 		}
 	}
-	s.finishFlows(flows)
+	s.finishFlows(flowStub, flows)
 	if relayErr != nil {
 		return AppendReply{}, relayErr
 	}
@@ -549,15 +562,17 @@ const flowserverRPCTimeout = 2 * time.Second
 // until finishFlows releases them. Any failure falls back to the static
 // replica order: the Flowserver is an optimizer, never a dependency
 // (mirroring the read path's degraded mode).
-func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits float64) ([]nameserver.ReplicaLoc, []flowserver.FlowID) {
+func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits float64) ([]nameserver.ReplicaLoc, []flowserver.FlowID, *flowserver.RPCClient) {
 	rest := info.Replicas[1:]
 	if len(rest) == 0 {
-		return rest, nil
+		return rest, nil, nil
 	}
-	fsc := s.fsc
+	sctx, cancel := context.WithTimeout(ctx, flowserverRPCTimeout)
+	defer cancel()
+	fsc := s.flowStub(sctx)
 	if fsc == nil {
 		s.met.relayStatic.Inc()
-		return rest, nil
+		return rest, nil, nil
 	}
 	byHost := make(map[string]nameserver.ReplicaLoc, len(rest))
 	hosts := make([]string, len(rest))
@@ -565,16 +580,25 @@ func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits f
 		hosts[i] = rep.Host
 		byHost[rep.Host] = rep
 	}
-	sctx, cancel := context.WithTimeout(ctx, flowserverRPCTimeout)
-	defer cancel()
-	as, err := fsc.SelectWrite(sctx, flowserver.SelectWriteArgs{
+	args := flowserver.SelectWriteArgs{
 		SourceHost:  s.cfg.Host,
 		TargetHosts: hosts,
 		Bits:        bits,
-	})
+	}
+	as, err := fsc.SelectWrite(sctx, args)
+	if err != nil && s.fr != nil && sctx.Err() == nil {
+		// The cached shard may have been killed: drop the route,
+		// re-resolve (picking up a freshly promoted shard under a newer
+		// epoch), and retry once before degrading this append.
+		s.fr.invalidate()
+		if stub2, rerr := s.fr.stub(sctx); rerr == nil && stub2 != nil {
+			fsc = stub2
+			as, err = fsc.SelectWrite(sctx, args)
+		}
+	}
 	if err != nil {
 		s.met.relayStatic.Inc()
-		return rest, nil
+		return rest, nil, nil
 	}
 	order := make([]nameserver.ReplicaLoc, 0, len(as))
 	flows := make([]flowserver.FlowID, 0, len(as))
@@ -591,24 +615,27 @@ func (s *Server) planRelay(ctx context.Context, info nameserver.FileInfo, bits f
 	if len(order) != len(rest) {
 		// The schedule does not cover the replica set (e.g. two replicas
 		// sharing a host); release what it admitted and go static.
-		s.finishFlows(flows)
+		s.finishFlows(fsc, flows)
 		s.met.relayStatic.Inc()
-		return rest, nil
+		return rest, nil, nil
 	}
 	s.met.relayScheduled.Inc()
-	return order, flows
+	return order, flows, fsc
 }
 
 // finishFlows releases relay flow-table entries on a fresh bounded
-// context (the append's own context may already be expired).
-func (s *Server) finishFlows(flows []flowserver.FlowID) {
-	if len(flows) == 0 || s.fsc == nil {
+// context (the append's own context may already be expired), against
+// the stub that issued them — under directory routing the releases must
+// reach the shard coordinating the flows, not whichever shard a later
+// resolution would name.
+func (s *Server) finishFlows(fsc *flowserver.RPCClient, flows []flowserver.FlowID) {
+	if len(flows) == 0 || fsc == nil {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), flowserverRPCTimeout)
 	defer cancel()
 	for _, id := range flows {
-		if err := s.fsc.Finished(ctx, id); err != nil {
+		if err := fsc.Finished(ctx, id); err != nil {
 			return
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/mayflower-dfs/mayflower/internal/emunet"
 	"github.com/mayflower-dfs/mayflower/internal/fabric"
+	"github.com/mayflower-dfs/mayflower/internal/flowctl"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/netsim"
 	"github.com/mayflower-dfs/mayflower/internal/obs"
@@ -132,6 +133,15 @@ type Config struct {
 	// MultiReplica enables §4.3 parallel multi-replica reads
 	// (Mayflower scheme only).
 	MultiReplica bool
+	// Shards selects the control-plane deployment for the schemes that
+	// run a Flowserver. 0 (the default, and the historical behaviour)
+	// runs the single in-process flowserver.Server directly. >= 1 runs
+	// the sharded flowctl plane: 1 is a single shard (byte-identical
+	// decisions to 0 — flowctl delegates verbatim, which the golden
+	// suite pins), and N >= 2 partitions the link model by pod across N
+	// shards with directory routing and gossiped utilization digests.
+	// Schemes without a Flowserver ignore the knob.
+	Shards int
 	// WriteFraction is the fraction of jobs that are appends instead of
 	// reads (0 = the paper's read-only workload, leaving every read
 	// figure unchanged). A write job moves the payload from the client
@@ -237,6 +247,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: WarmupJobs %d out of range for %d jobs", c.WarmupJobs, c.NumJobs)
 	case c.StatsInterval <= 0:
 		return fmt.Errorf("experiment: StatsInterval must be > 0, got %g", c.StatsInterval)
+	case c.Shards < 0:
+		return fmt.Errorf("experiment: Shards must be >= 0, got %d", c.Shards)
+	case c.Shards > 1 && c.MultiReplica:
+		return fmt.Errorf("experiment: multi-replica reads require a single controller (Shards <= 1)")
 	case c.WriteFraction < 0 || c.WriteFraction > 1:
 		return fmt.Errorf("experiment: WriteFraction must be in [0, 1], got %g", c.WriteFraction)
 	case c.MetaLeaseSeconds < 0:
@@ -357,7 +371,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MetaLeaseSeconds > 0 {
 		r.leases = make(map[leaseKey]float64)
 	}
-	r.setupPolicies()
+	if err := r.setupPolicies(); err != nil {
+		return nil, err
+	}
 	r.scheduleJobs(jobs)
 	if cfg.BackgroundLoad > 0 && len(jobs) > 0 {
 		r.scheduleBackground(jobs[len(jobs)-1].Time)
@@ -406,8 +422,10 @@ type runner struct {
 	cat  *workload.Catalog
 	res  *Result
 
-	// Policy components; which are non-nil depends on the scheme.
-	fs      *flowserver.Server
+	// Policy components; which are non-nil depends on the scheme. fs is
+	// the flow controller — a bare flowserver.Server (Config.Shards ==
+	// 0) or a flowctl.Plane (>= 1); both satisfy controlPlane.
+	fs      controlPlane
 	nearest *selection.Nearest
 	hdfs    *selection.HDFSRackAware
 	sinbad  *selection.SinbadR
@@ -443,7 +461,20 @@ type runner struct {
 	polling bool
 }
 
-func (r *runner) setupPolicies() {
+// controlPlane is the flow-controller surface the runner drives. Both
+// the bare flowserver.Server and the sharded flowctl.Plane satisfy it,
+// so the trace logic is identical under either deployment.
+type controlPlane interface {
+	SelectReplicaAndPath(flowserver.Request) ([]flowserver.Assignment, error)
+	SelectPath(client, replica topology.NodeID, bits float64) (flowserver.Assignment, error)
+	SelectWritePipeline(source topology.NodeID, targets []topology.NodeID, bits float64) ([]flowserver.Assignment, error)
+	FlowFinished(flowserver.FlowID)
+	EstimatedBW(flowserver.FlowID) (float64, bool)
+	PollFrom(now float64, src flowserver.StatsSource)
+	Counters() flowserver.StatsCounters
+}
+
+func (r *runner) setupPolicies() error {
 	cfg := r.cfg
 	usesFlowserver := false
 	switch cfg.Scheme {
@@ -451,13 +482,29 @@ func (r *runner) setupPolicies() {
 		usesFlowserver = true
 	}
 	if usesFlowserver {
-		r.fs = flowserver.New(r.topo, flowserver.Options{
+		opts := flowserver.Options{
 			MultiReplica:      cfg.MultiReplica && cfg.Scheme == SchemeMayflower,
 			DisableImpactTerm: cfg.DisableImpactTerm,
 			DisableFreeze:     cfg.DisableFreeze,
 			Now:               r.fab.Now,
 			Metrics:           r.reg,
-		})
+		}
+		if cfg.Shards > 0 {
+			plane, err := flowctl.NewPlane(r.topo, flowctl.Options{
+				Shards:            cfg.Shards,
+				MultiReplica:      opts.MultiReplica,
+				DisableImpactTerm: opts.DisableImpactTerm,
+				DisableFreeze:     opts.DisableFreeze,
+				Now:               opts.Now,
+				Metrics:           r.reg,
+			})
+			if err != nil {
+				return err
+			}
+			r.fs = plane
+		} else {
+			r.fs = flowserver.New(r.topo, opts)
+		}
 		r.tracked = make(map[flowserver.FlowID]fabric.FlowID)
 		r.polling = true
 	}
@@ -476,6 +523,7 @@ func (r *runner) setupPolicies() {
 	case SchemeSinbadRECMP, SchemeNearestECMP, SchemeHDFSECMP:
 		r.ecmp = selection.NewECMP(r.topo)
 	}
+	return nil
 }
 
 func (r *runner) scheduleJobs(jobs []workload.Job) {

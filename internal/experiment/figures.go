@@ -428,6 +428,29 @@ func WriteFractionSweep(base Config, fracs []float64) (*Series, error) {
 	return assembleSeries(sw, "write-mix", base.Locality)
 }
 
+// ShardSweep measures selection quality as the flow controller is
+// partitioned: Mayflower's full workload re-run with the flowctl plane
+// at increasing shard counts (nil: 1, 2, 4). One shard reproduces the
+// single-controller decisions exactly; more shards trade global
+// knowledge for partitioned state, with cross-pod selections scored
+// against gossiped per-link digests of bounded staleness instead of the
+// exact remote model. The figure is the cost of that staleness in
+// completion time.
+func ShardSweep(base Config, shardCounts []int) (*Series, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	sw := NewSweep(base)
+	for _, n := range shardCounts {
+		cfg := base
+		cfg.Scheme = SchemeMayflower
+		cfg.MultiReplica = false
+		cfg.Shards = n
+		sw.AddPoint("shards", float64(n), cfg)
+	}
+	return assembleSeries(sw, "shards", base.Locality)
+}
+
 // PollSweep measures Mayflower's sensitivity to the switch stats-polling
 // interval.
 func PollSweep(base Config, intervals []float64) (*Series, error) {

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenShardSweep pins the flowctl shard-count figure: Mayflower's
+// workload replayed with the control plane partitioned 1/2/4 ways. The
+// sharded rows quantify what bounded-staleness digests cost relative to
+// the exact single-controller model on the same trace.
+func TestGoldenShardSweep(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	sw, err := ShardSweep(cfg, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, csv bytes.Buffer
+	if err := WriteSweep(&txt, sw, "shards"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSweepCSV(&csv, sw, "shards"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shards.golden", txt.Bytes())
+	checkGolden(t, "shards.csv.golden", csv.Bytes())
+}
+
+// TestShardSweepWorkerInvariance: the sharded plane is as deterministic
+// as the single controller — the sweep renders byte-identical tables
+// sequentially and under -j 8.
+func TestShardSweepWorkerInvariance(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := goldenConfig()
+		cfg.NumJobs = 100
+		cfg.Workers = workers
+		sw, err := ShardSweep(cfg, []int{2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSweep(&buf, sw, "shards"); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSweepCSV(&buf, sw, "shards"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, par := run(1), run(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("shard sweep differs across worker counts.\n--- workers=1\n%s--- workers=8\n%s", seq, par)
+	}
+}
+
+// requireGolden compares against an existing golden file and never
+// rewrites it — the byte-identity tests below assert equality with
+// tables owned by other tests, so -update must not route through here.
+func requireGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Shards=1 output drifted from %s.\n--- want\n%s--- got\n%s", name, want, got)
+	}
+}
+
+// TestGoldenShards1ByteIdentity is the acceptance gate for the sharded
+// control plane: every golden figure regenerated with Config.Shards = 1
+// (the flowctl plane wrapping one shard) must reproduce the existing
+// golden bytes exactly. A single shard delegates verbatim — no digests,
+// no id striding, no directory hops on the decision path.
+func TestGoldenShards1ByteIdentity(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 4
+	cfg.Shards = 1
+
+	t.Run("figure4", func(t *testing.T) {
+		tbl, err := Figure4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt, csv bytes.Buffer
+		if err := WriteNormalizedTable(&txt, tbl); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteNormalizedCSV(&csv, tbl); err != nil {
+			t.Fatal(err)
+		}
+		requireGolden(t, "figure4.golden", txt.Bytes())
+		requireGolden(t, "figure4.csv.golden", csv.Bytes())
+	})
+
+	t.Run("figure6b", func(t *testing.T) {
+		sw, err := lambdaSweep(cfg, "figure 6(b) reduced: mean completion vs λ", []float64{0.06, 0.09})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		if err := WriteSweep(&txt, sw, "lambda"); err != nil {
+			t.Fatal(err)
+		}
+		requireGolden(t, "figure6b.golden", txt.Bytes())
+	})
+
+	t.Run("figure7", func(t *testing.T) {
+		sw, err := Figure7(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		if err := WriteSweep(&txt, sw, "oversub"); err != nil {
+			t.Fatal(err)
+		}
+		requireGolden(t, "figure7.golden", txt.Bytes())
+	})
+
+	t.Run("figure9", func(t *testing.T) {
+		sw, err := WriteFractionSweep(cfg, []float64{0.25, 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		if err := WriteSweep(&txt, sw, "write-frac"); err != nil {
+			t.Fatal(err)
+		}
+		requireGolden(t, "figure9.golden", txt.Bytes())
+	})
+}
+
+// TestShardedRunCompletes smoke-tests a sharded cell end to end and
+// checks every job is accounted for (no flows stall when cross-pod
+// selections run against digest estimates).
+func TestShardedRunCompletes(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.NumJobs = 120
+	cfg.WarmupJobs = 20
+	cfg.Shards = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.CompletionTimes), cfg.NumJobs-cfg.WarmupJobs; got != want {
+		t.Errorf("completed %d of %d measured jobs", got, want)
+	}
+	if res.Drift == nil {
+		t.Error("sharded run reported no drift audit")
+	}
+}
+
+// TestShardsValidation: the config rejects sharded multi-replica (the
+// §4.3 trial-commit would need an atomic two-shard snapshot).
+func TestShardsValidation(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Shards = 2
+	cfg.MultiReplica = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded multi-replica accepted")
+	}
+	cfg.MultiReplica = false
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}

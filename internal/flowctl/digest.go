@@ -1,0 +1,83 @@
+package flowctl
+
+// LinkLoad is one link's modeled utilization as exported in a digest:
+// the number of committed flows crossing it and the sum of their
+// current bandwidth estimates. The zero value means "no information",
+// which ShareEstimate scores as a fully available link.
+type LinkLoad struct {
+	Flows int32
+	SumBw float64
+}
+
+// Digest is one shard's bounded-staleness summary of the links it owns,
+// gossiped to the other shards so their coordinators can score remote
+// sub-paths without owning the state. Entries are sparse — only links
+// with at least one committed flow appear — and sorted by ascending
+// link id, so merging into a dense view is a deterministic scatter.
+type Digest struct {
+	// Shard is the producing shard's index.
+	Shard int
+	// Seq increases by one per BuildDigest call on the producer; a
+	// consumer holding Seq s can discard any digest with Seq <= s.
+	Seq int64
+	// Time is the model-clock time the snapshot was taken; consumers
+	// derive digest age from it.
+	Time float64
+	// Links and Loads are parallel: Loads[i] is the load of link
+	// Links[i].
+	Links []int32
+	Loads []LinkLoad
+}
+
+// ShareEstimate estimates the max-min share a new flow would receive on
+// a link of the given capacity under the digested load: the larger of
+// the equal-split share capacity/(n+1) (the floor max-min guarantees a
+// new flow against n saturated peers) and the headroom capacity−sumBw
+// (links whose flows are bottlenecked elsewhere give the new flow the
+// slack). With no information it is the full capacity — the coordinator
+// is optimistic about links it cannot see, exactly like a freshly
+// booted Flowserver.
+func ShareEstimate(capacity float64, l LinkLoad) float64 {
+	if l.Flows <= 0 {
+		return capacity
+	}
+	share := capacity - l.SumBw
+	if even := capacity / float64(l.Flows+1); even > share {
+		share = even
+	}
+	if share < 0 {
+		return 0
+	}
+	return share
+}
+
+// ScatterInto writes the digest's sparse entries into a dense per-link
+// view. Links the digest does not mention are left untouched.
+func (d *Digest) ScatterInto(dst []LinkLoad) {
+	for i, l := range d.Links {
+		if int(l) < len(dst) {
+			dst[int(l)] = d.Loads[i]
+		}
+	}
+}
+
+// MergeDigests builds a dense per-link view from a set of digests over
+// disjoint link ownership (one per remote shard), reusing dst when it
+// has the right length. Nil digests are skipped — a shard whose digest
+// pull failed simply contributes no information, which ShareEstimate
+// treats optimistically.
+func MergeDigests(dst []LinkLoad, numLinks int, ds ...*Digest) []LinkLoad {
+	if len(dst) != numLinks {
+		dst = make([]LinkLoad, numLinks)
+	} else {
+		for i := range dst {
+			dst[i] = LinkLoad{}
+		}
+	}
+	for _, d := range ds {
+		if d != nil {
+			d.ScatterInto(dst)
+		}
+	}
+	return dst
+}

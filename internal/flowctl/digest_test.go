@@ -1,0 +1,43 @@
+package flowctl
+
+import "testing"
+
+func TestShareEstimate(t *testing.T) {
+	cases := []struct {
+		name string
+		cap  float64
+		load LinkLoad
+		want float64
+	}{
+		{"no info is full capacity", 100, LinkLoad{}, 100},
+		{"saturated link equal-splits", 100, LinkLoad{Flows: 3, SumBw: 100}, 25},
+		{"bottlenecked-elsewhere flows leave headroom", 100, LinkLoad{Flows: 1, SumBw: 10}, 90},
+		{"headroom beats equal split", 100, LinkLoad{Flows: 9, SumBw: 20}, 80},
+		{"oversubscribed clamps at zero equal split", 100, LinkLoad{Flows: 4, SumBw: 150}, 20},
+	}
+	for _, c := range cases {
+		if got := ShareEstimate(c.cap, c.load); got != c.want {
+			t.Errorf("%s: ShareEstimate(%g, %+v) = %g, want %g", c.name, c.cap, c.load, got, c.want)
+		}
+	}
+}
+
+func TestMergeDigestsScattersDisjointOwnership(t *testing.T) {
+	d1 := &Digest{Shard: 0, Links: []int32{0, 2}, Loads: []LinkLoad{{1, 10}, {2, 20}}}
+	d2 := &Digest{Shard: 1, Links: []int32{5}, Loads: []LinkLoad{{3, 30}}}
+	view := MergeDigests(nil, 6, d1, nil, d2)
+	if len(view) != 6 {
+		t.Fatalf("view length %d, want 6", len(view))
+	}
+	if view[0] != (LinkLoad{1, 10}) || view[2] != (LinkLoad{2, 20}) || view[5] != (LinkLoad{3, 30}) {
+		t.Errorf("scatter wrong: %+v", view)
+	}
+	if view[1] != (LinkLoad{}) || view[3] != (LinkLoad{}) {
+		t.Errorf("unmentioned links not zero: %+v", view)
+	}
+	// Reuse clears stale entries.
+	view2 := MergeDigests(view, 6, d2)
+	if view2[0] != (LinkLoad{}) || view2[5] != (LinkLoad{3, 30}) {
+		t.Errorf("reused view not cleared: %+v", view2)
+	}
+}

@@ -1,0 +1,119 @@
+package flowctl
+
+import "testing"
+
+func TestDirectoryRoundRobinAndLookup(t *testing.T) {
+	d, err := NewDirectory(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("fresh directory epoch = %d, want 1", d.Epoch())
+	}
+	wantOwner := []int{0, 1, 0, 1}
+	for p, want := range wantOwner {
+		g, _, epoch, ok := d.Lookup(p)
+		if !ok || g != want || epoch != 1 {
+			t.Errorf("Lookup(%d) = (%d, %d, %v), want (%d, 1, true)", p, g, epoch, ok, want)
+		}
+	}
+	if _, _, _, ok := d.Lookup(4); ok {
+		t.Error("Lookup of unknown pod succeeded")
+	}
+}
+
+func TestDirectoryRejectsBadShapes(t *testing.T) {
+	if _, err := NewDirectory(4, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewDirectory(2, 3); err == nil {
+		t.Error("more shards than pods accepted")
+	}
+}
+
+func TestDirectoryMarkDeadPromotesOnceAndBumpsEpoch(t *testing.T) {
+	d, err := NewDirectory(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, changed := d.MarkDead(1)
+	if !changed || epoch != 2 {
+		t.Fatalf("MarkDead(1) = (%d, %v), want (2, true)", epoch, changed)
+	}
+	for _, p := range []int{1, 3} {
+		g, _, e, ok := d.Lookup(p)
+		if !ok || g != 0 || e != 2 {
+			t.Errorf("after failover Lookup(%d) = (%d, %d, %v), want (0, 2, true)", p, g, e, ok)
+		}
+	}
+	// Death is declared once: a second MarkDead changes nothing.
+	if epoch, changed := d.MarkDead(1); changed || epoch != 2 {
+		t.Errorf("second MarkDead(1) = (%d, %v), want (2, false)", epoch, changed)
+	}
+}
+
+func TestDirectoryAllDeadLookupFails(t *testing.T) {
+	d, err := NewDirectory(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MarkDead(0)
+	d.MarkDead(1)
+	if _, _, _, ok := d.Lookup(0); ok {
+		t.Error("Lookup succeeded with every shard dead")
+	}
+}
+
+func TestDirectoryLeaseExpiryAndRevival(t *testing.T) {
+	d, err := NewDirectory(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards register with 5 s leases at t=0.
+	for s := 0; s < 2; s++ {
+		if _, err := d.Heartbeat(s, "addr", 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if changed := d.ExpireBefore(4); changed {
+		t.Error("lease expired before its TTL")
+	}
+	// Shard 1 misses its renewal; shard 0 renews at t=4.
+	if _, err := d.Heartbeat(0, "addr", 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if changed := d.ExpireBefore(6); !changed {
+		t.Error("lapsed lease not expired")
+	}
+	if d.Alive(1) {
+		t.Error("shard 1 still alive after lease lapse")
+	}
+	if g, _, _, _ := d.Lookup(1); g != 0 {
+		t.Errorf("pod 1 owner after expiry = %d, want 0", g)
+	}
+	epoch := d.Epoch()
+	// Revival renews the lease but must not reclaim pods or move the
+	// epoch — ownership changes only through death.
+	if _, err := d.Heartbeat(1, "addr2", 7, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Alive(1) {
+		t.Error("heartbeat did not revive shard 1")
+	}
+	if g, _, _, _ := d.Lookup(1); g != 0 {
+		t.Errorf("revival reclaimed pod 1 (owner %d)", g)
+	}
+	if d.Epoch() != epoch {
+		t.Errorf("revival moved epoch %d -> %d", epoch, d.Epoch())
+	}
+}
+
+func TestDirectoryHeartbeatUnknownShard(t *testing.T) {
+	d, err := NewDirectory(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Heartbeat(7, "x", 0, 1); err == nil {
+		t.Error("heartbeat from unknown shard accepted")
+	}
+}

@@ -1,0 +1,364 @@
+package flowctl
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/obs"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// Options parameterize a Plane.
+type Options struct {
+	// Shards is the number of controller shards (>= 1).
+	Shards int
+	// MultiReplica enables §4.3 split reads. Single-shard only: the
+	// split's trial-commit/rollback would have to snapshot two shards
+	// atomically, so NewPlane rejects it with Shards > 1.
+	MultiReplica bool
+	// DisableImpactTerm / DisableFreeze / Now / MaxPollSkew pass
+	// through to every shard's embedded flowserver.
+	DisableImpactTerm bool
+	DisableFreeze     bool
+	Now               func() float64
+	MaxPollSkew       float64
+	// Metrics receives instrumentation. With one shard the embedded
+	// flowserver registers its full legacy "flowserver." surface; with
+	// more, the plane registers the "flowctl." surface instead (the
+	// per-shard flowserver counters would collide by name and are
+	// aggregated through Counters()).
+	Metrics *obs.Registry
+}
+
+// Plane is the in-process sharded control plane: N shards over one
+// topology, wired to each other with direct calls, plus the directory.
+// It exposes the same selection surface as a single flowserver.Server,
+// so the experiment driver runs against either interchangeably.
+//
+// With Shards == 1 every method delegates verbatim to one embedded
+// flowserver.Server — no id translation, no digests, no directory hops
+// — which is how the figure goldens stay byte-identical through the
+// plane (the CI golden job pins this).
+//
+// All coordination state is deterministic: selections are a pure
+// function of the call sequence, digests refresh in shard-index order
+// on every PollFrom, and flow ids are arithmetic in (shard, sequence).
+type Plane struct {
+	topo   *topology.Topology
+	opts   Options
+	single *flowserver.Server // non-nil iff Shards == 1
+	dir    *Directory
+	shards []*Shard
+	met    *Metrics
+
+	mu     sync.Mutex
+	killed []bool
+}
+
+// planeLink wires shard-to-shard calls directly, refusing calls to
+// killed shards so a dead peer looks unreachable, not absent.
+type planeLink struct {
+	p      *Plane
+	target int
+}
+
+func (l planeLink) CommitForeign(id flowserver.FlowID, links topology.Path, bits, capBw float64) (float64, error) {
+	if l.p.isKilled(l.target) {
+		return 0, fmt.Errorf("flowctl: shard %d is down", l.target)
+	}
+	return l.p.shards[l.target].CommitForeignLocal(id, links, bits, capBw), nil
+}
+
+func (l planeLink) FinishForeign(id flowserver.FlowID) error {
+	if l.p.isKilled(l.target) {
+		return fmt.Errorf("flowctl: shard %d is down", l.target)
+	}
+	l.p.shards[l.target].FinishLocal(id)
+	return nil
+}
+
+func (l planeLink) Digest() (*Digest, error) {
+	if l.p.isKilled(l.target) {
+		return nil, fmt.Errorf("flowctl: shard %d is down", l.target)
+	}
+	return l.p.shards[l.target].BuildDigest(l.p.now()), nil
+}
+
+// NewPlane builds the control plane. Shards must be in [1, pods].
+func NewPlane(topo *topology.Topology, opts Options) (*Plane, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("flowctl: need at least 1 shard, got %d", opts.Shards)
+	}
+	if opts.MultiReplica && opts.Shards > 1 {
+		return nil, fmt.Errorf("flowctl: multi-replica reads require a single shard")
+	}
+	p := &Plane{topo: topo, opts: opts, met: NewMetrics()}
+	if opts.Shards == 1 {
+		p.single = flowserver.New(topo, flowserver.Options{
+			MultiReplica:      opts.MultiReplica,
+			DisableImpactTerm: opts.DisableImpactTerm,
+			DisableFreeze:     opts.DisableFreeze,
+			Now:               opts.Now,
+			MaxPollSkew:       opts.MaxPollSkew,
+			Metrics:           opts.Metrics,
+		})
+		return p, nil
+	}
+	dir, err := NewDirectory(topo.Config().Pods, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	p.dir = dir
+	if opts.Metrics != nil {
+		p.met.Register(opts.Metrics)
+	}
+	p.met.setEpoch(dir.Epoch())
+	owner, epoch := dir.Owners()
+	p.shards = make([]*Shard, opts.Shards)
+	p.killed = make([]bool, opts.Shards)
+	for k := range p.shards {
+		s, err := NewShard(topo, ShardConfig{
+			Index:             k,
+			Shards:            opts.Shards,
+			Owner:             owner,
+			Epoch:             epoch,
+			DisableImpactTerm: opts.DisableImpactTerm,
+			DisableFreeze:     opts.DisableFreeze,
+			Now:               opts.Now,
+			MaxPollSkew:       opts.MaxPollSkew,
+			Metrics:           p.met,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.shards[k] = s
+	}
+	for k, s := range p.shards {
+		peers := make([]ShardLink, opts.Shards)
+		for g := range peers {
+			if g != k {
+				peers[g] = planeLink{p: p, target: g}
+			}
+		}
+		s.SetPeers(peers)
+	}
+	return p, nil
+}
+
+// NumShards returns the configured shard count.
+func (p *Plane) NumShards() int {
+	if p.single != nil {
+		return 1
+	}
+	return len(p.shards)
+}
+
+// Directory exposes the plane's directory (nil with one shard).
+func (p *Plane) Directory() *Directory { return p.dir }
+
+// Shard returns shard k (nil with one shard).
+func (p *Plane) Shard(k int) *Shard {
+	if p.single != nil || k < 0 || k >= len(p.shards) {
+		return nil
+	}
+	return p.shards[k]
+}
+
+// Single returns the embedded server in single-shard mode, else nil.
+func (p *Plane) Single() *flowserver.Server { return p.single }
+
+func (p *Plane) now() float64 {
+	if p.opts.Now != nil {
+		return p.opts.Now()
+	}
+	return 0
+}
+
+func (p *Plane) isKilled(k int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed[k]
+}
+
+// coordinatorFor resolves the shard coordinating selections for a
+// requester host via the directory.
+func (p *Plane) coordinatorFor(host topology.NodeID) (*Shard, error) {
+	pod := p.topo.Node(host).Pod
+	g, _, _, ok := p.dir.Lookup(pod)
+	if !ok || p.isKilled(g) {
+		return nil, fmt.Errorf("flowctl: no live shard owns pod %d", pod)
+	}
+	return p.shards[g], nil
+}
+
+// SelectReplicaAndPath routes the read selection to the shard owning
+// the client's pod.
+func (p *Plane) SelectReplicaAndPath(req flowserver.Request) ([]flowserver.Assignment, error) {
+	if p.single != nil {
+		return p.single.SelectReplicaAndPath(req)
+	}
+	s, err := p.coordinatorFor(req.Client)
+	if err != nil {
+		return nil, err
+	}
+	return s.Select(req)
+}
+
+// SelectPath routes the path-only selection to the shard owning the
+// client's pod.
+func (p *Plane) SelectPath(client, replica topology.NodeID, bits float64) (flowserver.Assignment, error) {
+	if p.single != nil {
+		return p.single.SelectPath(client, replica, bits)
+	}
+	s, err := p.coordinatorFor(client)
+	if err != nil {
+		return flowserver.Assignment{}, err
+	}
+	return s.SelectPath(client, replica, bits)
+}
+
+// SelectWritePipeline routes the replication fan-out to the shard
+// owning the source's pod.
+func (p *Plane) SelectWritePipeline(source topology.NodeID, targets []topology.NodeID, bits float64) ([]flowserver.Assignment, error) {
+	if p.single != nil {
+		return p.single.SelectWritePipeline(source, targets, bits)
+	}
+	s, err := p.coordinatorFor(source)
+	if err != nil {
+		return nil, err
+	}
+	return s.SelectWrite(source, targets, bits)
+}
+
+// coordinatorOf recovers the coordinating shard from a flow id: shard k
+// assigns ids ≡ k+1 (mod N).
+func (p *Plane) coordinatorOf(id flowserver.FlowID) *Shard {
+	n := flowserver.FlowID(len(p.shards))
+	k := (id - 1) % n
+	if k < 0 {
+		k += n
+	}
+	return p.shards[k]
+}
+
+// FlowFinished retires a flow everywhere it was committed. Routing is
+// id arithmetic, so it works even for flows whose coordinator has been
+// killed (the in-process state survives; only new work is refused).
+func (p *Plane) FlowFinished(id flowserver.FlowID) {
+	if p.single != nil {
+		p.single.FlowFinished(id)
+		return
+	}
+	p.coordinatorOf(id).Finished(id)
+}
+
+// EstimatedBW returns the coordinator's bandwidth estimate for a flow.
+func (p *Plane) EstimatedBW(id flowserver.FlowID) (float64, bool) {
+	if p.single != nil {
+		return p.single.EstimatedBW(id)
+	}
+	return p.coordinatorOf(id).Server().EstimatedBW(id)
+}
+
+// PollFrom ingests one stats cycle into every live shard and then
+// refreshes the cross-shard digests, in shard-index order — each shard
+// in a real deployment polls the edge switches of its own pods and
+// gossips on the same tick; the in-process plane hands every shard the
+// full batch and lets the model's flow tables pick out their own rows.
+func (p *Plane) PollFrom(now float64, src flowserver.StatsSource) {
+	if p.single != nil {
+		p.single.PollFrom(now, src)
+		return
+	}
+	batch := src.FlowStats()
+	for k, s := range p.shards {
+		if p.isKilled(k) {
+			continue
+		}
+		s.Server().UpdateFlowStats(now, batch)
+	}
+	ds := make([]*Digest, len(p.shards))
+	for k, s := range p.shards {
+		if !p.isKilled(k) {
+			ds[k] = s.BuildDigest(now)
+		}
+	}
+	for k, s := range p.shards {
+		if !p.isKilled(k) {
+			s.InstallDigests(ds)
+		}
+	}
+}
+
+// Counters aggregates the model counters across shards, with the
+// plane-level selection counters (selections are coordinated above the
+// embedded servers, which only see commits) folded in.
+func (p *Plane) Counters() flowserver.StatsCounters {
+	if p.single != nil {
+		return p.single.Counters()
+	}
+	var out flowserver.StatsCounters
+	for _, s := range p.shards {
+		c := s.Server().Counters()
+		out.FreezeHits += c.FreezeHits
+		out.FreezeExpirations += c.FreezeExpirations
+		out.Polls += c.Polls
+		out.PollSamples += c.PollSamples
+		out.PollDropsDT += c.PollDropsDT
+		out.PollDropsRegress += c.PollDropsRegress
+		out.PollDropsSkewFuture += c.PollDropsSkewFuture
+		out.PollDropsSkewPast += c.PollDropsSkewPast
+	}
+	out.Selections = p.met.Selections.Value()
+	out.WriteSelections = p.met.WriteSelections.Value()
+	out.CandidatesEvaluated = p.met.Candidates.Value()
+	return out
+}
+
+// NumFlows returns the number of registered flow entries across shards
+// (a cross-shard flow counts once per shard holding a sub-path).
+func (p *Plane) NumFlows() int {
+	if p.single != nil {
+		return p.single.NumFlows()
+	}
+	n := 0
+	for _, s := range p.shards {
+		n += s.Server().NumFlows()
+	}
+	return n
+}
+
+// KillShard declares shard k dead: the directory promotes its pods to
+// the next live shard (bumping the epoch) and every surviving shard
+// learns the new ownership. Selections for the promoted pods route to
+// the successor, whose model for the adopted links starts empty and
+// repopulates from counter polls.
+func (p *Plane) KillShard(k int) error {
+	if p.single != nil {
+		return fmt.Errorf("flowctl: cannot kill the only shard")
+	}
+	if k < 0 || k >= len(p.shards) {
+		return fmt.Errorf("flowctl: no shard %d", k)
+	}
+	p.mu.Lock()
+	if p.killed[k] {
+		p.mu.Unlock()
+		return nil
+	}
+	p.killed[k] = true
+	p.mu.Unlock()
+	p.dir.MarkDead(k)
+	owner, epoch := p.dir.Owners()
+	for g, s := range p.shards {
+		if !p.isKilled(g) {
+			s.SetOwners(owner, epoch)
+		}
+	}
+	p.met.Failovers.Inc()
+	p.met.setEpoch(epoch)
+	return nil
+}
+
+// Metrics exposes the plane's flowctl instrumentation.
+func (p *Plane) Metrics() *Metrics { return p.met }

@@ -1,0 +1,421 @@
+package flowctl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.New(topology.PaperTestbed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// fakeClock is the injected model clock a test advances explicitly.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+// statsBatch adapts a prebuilt poll cycle to flowserver.StatsSource.
+type statsBatch []flowserver.FlowStat
+
+func (b statsBatch) FlowStats() []flowserver.FlowStat { return b }
+
+// controlPlane is the surface shared by flowserver.Server and Plane,
+// letting the conformance driver run the same op stream against both.
+type controlPlane interface {
+	SelectReplicaAndPath(flowserver.Request) ([]flowserver.Assignment, error)
+	SelectPath(client, replica topology.NodeID, bits float64) (flowserver.Assignment, error)
+	SelectWritePipeline(source topology.NodeID, targets []topology.NodeID, bits float64) ([]flowserver.Assignment, error)
+	FlowFinished(flowserver.FlowID)
+	PollFrom(now float64, src flowserver.StatsSource)
+	EstimatedBW(flowserver.FlowID) (float64, bool)
+}
+
+// op is one step of a deterministic conformance workload.
+type op struct {
+	kind      int // 0 read, 1 write, 2 finish, 3 poll
+	time      float64
+	client    topology.NodeID
+	replicas  []topology.NodeID
+	bits      float64
+	finishIdx int
+}
+
+// genOps builds a deterministic op stream. podLocal restricts every
+// transfer's endpoints to one pod, the workload class whose selections
+// must be invariant to the shard count.
+func genOps(seed int64, topo *topology.Topology, n int, podLocal bool) []op {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := topo.Config()
+	hostIn := func(pod int) topology.NodeID {
+		return topo.HostAt(pod, rng.Intn(cfg.RacksPerPod), rng.Intn(cfg.HostsPerRack))
+	}
+	anyHost := func(pod int) topology.NodeID {
+		if podLocal {
+			return hostIn(pod)
+		}
+		return hostIn(rng.Intn(cfg.Pods))
+	}
+	now := 0.0
+	var ops []op
+	issued := 0
+	for i := 0; i < n; i++ {
+		now += rng.Float64() * 0.2
+		switch k := rng.Intn(10); {
+		case k < 5: // read
+			pod := rng.Intn(cfg.Pods)
+			client := hostIn(pod)
+			reps := []topology.NodeID{anyHost(pod), anyHost(pod), anyHost(pod)}
+			ops = append(ops, op{kind: 0, time: now, client: client, replicas: reps,
+				bits: float64(1+rng.Intn(8)) * 1e8})
+			issued++
+		case k < 7: // write pipeline
+			pod := rng.Intn(cfg.Pods)
+			src := hostIn(pod)
+			tgts := []topology.NodeID{anyHost(pod), anyHost(pod)}
+			ops = append(ops, op{kind: 1, time: now, client: src, replicas: tgts,
+				bits: float64(1+rng.Intn(8)) * 1e8})
+			issued++
+		case k < 9 && issued > 0: // finish a previously issued job
+			ops = append(ops, op{kind: 2, time: now, finishIdx: rng.Intn(issued)})
+		default: // stats poll
+			ops = append(ops, op{kind: 3, time: now})
+		}
+	}
+	return ops
+}
+
+// applyOps drives one op stream against a control plane, returning one
+// comparison record per select call. withIDs includes flow ids (for
+// byte-identity of the single-shard delegation); without, records
+// compare across shard counts, whose id sequences legitimately differ.
+func applyOps(t *testing.T, cp controlPlane, clock *fakeClock, ops []op, withIDs bool) []string {
+	t.Helper()
+	type job struct {
+		ids      []flowserver.FlowID
+		bits     float64
+		progress float64
+		done     bool
+	}
+	var jobs []*job
+	var out []string
+	record := func(as []flowserver.Assignment) {
+		j := &job{}
+		for _, a := range as {
+			key := fmt.Sprintf("r=%d path=%v bits=%x bw=%x", a.Replica, a.Path, a.Bits, a.EstimatedBw)
+			if withIDs {
+				key = fmt.Sprintf("id=%d %s", a.FlowID, key)
+			}
+			out = append(out, key)
+			if !a.Local() {
+				j.ids = append(j.ids, a.FlowID)
+				j.bits = a.Bits
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	for _, o := range ops {
+		clock.t = o.time
+		switch o.kind {
+		case 0:
+			as, err := cp.SelectReplicaAndPath(flowserver.Request{
+				Client: o.client, Replicas: o.replicas, Bits: o.bits})
+			if err != nil {
+				t.Fatalf("select: %v", err)
+			}
+			record(as)
+		case 1:
+			as, err := cp.SelectWritePipeline(o.client, o.replicas, o.bits)
+			if err != nil {
+				t.Fatalf("select write: %v", err)
+			}
+			record(as)
+		case 2:
+			j := jobs[o.finishIdx]
+			if !j.done {
+				j.done = true
+				for _, id := range j.ids {
+					cp.FlowFinished(id)
+				}
+			}
+		case 3:
+			var batch statsBatch
+			for _, j := range jobs {
+				if j.done {
+					continue
+				}
+				j.progress += j.bits * 0.07
+				if j.progress > j.bits {
+					j.progress = j.bits
+				}
+				for _, id := range j.ids {
+					batch = append(batch, flowserver.FlowStat{ID: id, TransferredBits: j.progress})
+				}
+			}
+			cp.PollFrom(o.time, batch)
+		}
+	}
+	return out
+}
+
+// TestSingleShardDelegatesByteIdentical pins the Plane's Shards == 1
+// contract: every call delegates verbatim to one flowserver.Server, so
+// the full op stream — ids included — matches a bare server exactly.
+func TestSingleShardDelegatesByteIdentical(t *testing.T) {
+	topo := testTopo(t)
+	ops := genOps(11, topo, 600, false)
+
+	clockA := &fakeClock{}
+	srv := flowserver.New(topo, flowserver.Options{MultiReplica: true, Now: clockA.Now})
+	got := applyOps(t, srv, clockA, ops, true)
+
+	clockB := &fakeClock{}
+	plane, err := NewPlane(topo, Options{Shards: 1, MultiReplica: true, Now: clockB.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := applyOps(t, plane, clockB, ops, true)
+
+	if !reflect.DeepEqual(got, want) {
+		for i := range got {
+			if i < len(want) && got[i] != want[i] {
+				t.Fatalf("first divergence at record %d:\nserver: %s\nplane:  %s", i, got[i], want[i])
+			}
+		}
+		t.Fatalf("record counts differ: server %d, plane %d", len(got), len(want))
+	}
+}
+
+// TestPodLocalShardInvariance pins the partition's core guarantee: a
+// workload whose transfers stay inside single pods takes identical
+// decisions (replica, path, estimated share — ids aside) at every shard
+// count, because every candidate path is wholly owned by its
+// coordinator and scored by the exact local model.
+func TestPodLocalShardInvariance(t *testing.T) {
+	topo := testTopo(t)
+	ops := genOps(23, topo, 600, true)
+	var base []string
+	for _, shards := range []int{1, 2, 4} {
+		clock := &fakeClock{}
+		plane, err := NewPlane(topo, Options{Shards: shards, Now: clock.Now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := applyOps(t, plane, clock, ops, false)
+		if base == nil {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(base, got) {
+			for i := range base {
+				if i < len(got) && base[i] != got[i] {
+					t.Fatalf("shards=%d diverges at record %d:\n1 shard: %s\n%d shards: %s",
+						shards, i, base[i], shards, got[i])
+				}
+			}
+			t.Fatalf("shards=%d record count %d, 1 shard %d", shards, len(got), len(base))
+		}
+	}
+}
+
+// TestCrossPodDeterminism pins run-to-run determinism of the sharded
+// path on a workload that does exercise digests and foreign commits.
+func TestCrossPodDeterminism(t *testing.T) {
+	topo := testTopo(t)
+	ops := genOps(37, topo, 600, false)
+	var base []string
+	for run := 0; run < 2; run++ {
+		clock := &fakeClock{}
+		plane, err := NewPlane(topo, Options{Shards: 2, Now: clock.Now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := applyOps(t, plane, clock, ops, true)
+		if plane.Metrics().CrossShard.Value() == 0 {
+			t.Fatal("workload never crossed shards; test is vacuous")
+		}
+		if run == 0 {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatal("identical op stream produced different selections across runs")
+		}
+	}
+}
+
+// TestKillShardFailover: killing a shard promotes its pods (one epoch
+// bump), selections for those pods route to the successor, and retiring
+// pre-kill flows stays safe.
+func TestKillShardFailover(t *testing.T) {
+	topo := testTopo(t)
+	clock := &fakeClock{}
+	plane, err := NewPlane(topo, Options{Shards: 2, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pod 1 is owned by shard 1. A cross-pod read from a pod-1 client.
+	client := topo.HostAt(1, 0, 0)
+	rep := topo.HostAt(2, 1, 1)
+	as, err := plane.SelectReplicaAndPath(flowserver.Request{
+		Client: client, Replicas: []topology.NodeID{rep}, Bits: 1e8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plane.Shard(1); !got.OwnsPod(1) {
+		t.Fatal("precondition: shard 1 should own pod 1")
+	}
+
+	epochBefore := plane.Directory().Epoch()
+	if err := plane.KillShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := plane.Directory().Epoch(); got != epochBefore+1 {
+		t.Errorf("epoch after kill = %d, want %d", got, epochBefore+1)
+	}
+	g, _, _, ok := plane.Directory().Lookup(1)
+	if !ok || g != 0 {
+		t.Fatalf("pod 1 after kill routes to shard %d (ok=%v), want 0", g, ok)
+	}
+	// New selection for the promoted pod succeeds via the successor.
+	as2, err := plane.SelectReplicaAndPath(flowserver.Request{
+		Client: client, Replicas: []topology.NodeID{rep}, Bits: 1e8})
+	if err != nil {
+		t.Fatalf("post-failover select: %v", err)
+	}
+	if as2[0].FlowID%2 != 1 {
+		t.Errorf("post-failover flow id %d not from shard 0's sequence", as2[0].FlowID)
+	}
+	// Retiring the pre-kill flow (coordinated by the dead shard) is safe.
+	plane.FlowFinished(as[0].FlowID)
+	if got := plane.Metrics().Failovers.Value(); got != 1 {
+		t.Errorf("failovers counter = %d, want 1", got)
+	}
+	// Killing the last shard leaves the pods orphaned: selects fail.
+	if err := plane.KillShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plane.SelectReplicaAndPath(flowserver.Request{
+		Client: client, Replicas: []topology.NodeID{rep}, Bits: 1e8}); err == nil {
+		t.Error("select succeeded with every shard dead")
+	}
+}
+
+// TestDigestStalenessBound pins the freshness contract: digests refresh
+// on every poll, so the age a coordinator sees never exceeds the time
+// since the last poll.
+func TestDigestStalenessBound(t *testing.T) {
+	topo := testTopo(t)
+	clock := &fakeClock{}
+	plane, err := NewPlane(topo, Options{Shards: 2, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit a cross-pod flow so shard 1 has digest content.
+	client := topo.HostAt(0, 0, 0)
+	rep := topo.HostAt(1, 0, 0)
+	if _, err := plane.SelectReplicaAndPath(flowserver.Request{
+		Client: client, Replicas: []topology.NodeID{rep}, Bits: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plane.Shard(0).DigestAge(1, clock.t); ok {
+		t.Fatal("digest present before any poll")
+	}
+	const interval = 1.0
+	for tick := 1; tick <= 5; tick++ {
+		clock.t = float64(tick) * interval
+		plane.PollFrom(clock.t, statsBatch(nil))
+		age, ok := plane.Shard(0).DigestAge(1, clock.t)
+		if !ok || age != 0 {
+			t.Fatalf("tick %d: age right after poll = (%g, %v), want (0, true)", tick, age, ok)
+		}
+		// Mid-interval the age is the time since the poll.
+		clock.t += 0.7 * interval
+		age, _ = plane.Shard(0).DigestAge(1, clock.t)
+		if diff := age - 0.7*interval; diff < -1e-9 || diff > 1e-9 {
+			t.Fatalf("tick %d: mid-interval age = %g, want %g", tick, age, 0.7*interval)
+		}
+		if age > interval {
+			t.Fatalf("tick %d: staleness bound violated: %g > %g", tick, age, interval)
+		}
+	}
+	// The digest actually carries the remote load: shard 1's links show
+	// the committed flow.
+	d := plane.Shard(1).BuildDigest(clock.t)
+	if len(d.Links) == 0 {
+		t.Error("shard 1 digest empty despite a committed cross-pod flow")
+	}
+}
+
+// TestNewPlaneValidation: the constructor rejects impossible shapes.
+func TestNewPlaneValidation(t *testing.T) {
+	topo := testTopo(t)
+	if _, err := NewPlane(topo, Options{Shards: 0}); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewPlane(topo, Options{Shards: 2, MultiReplica: true}); err == nil {
+		t.Error("multi-replica with 2 shards accepted")
+	}
+	if _, err := NewPlane(topo, Options{Shards: 8}); err == nil {
+		t.Error("more shards than pods accepted")
+	}
+	plane, err := NewPlane(topo, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plane.KillShard(0); err == nil {
+		t.Error("killed the only shard")
+	}
+}
+
+// TestPlaneConcurrentUse exercises the sharded plane from concurrent
+// goroutines (the RPC form serves shards concurrently); the -race run
+// in CI is the assertion.
+func TestPlaneConcurrentUse(t *testing.T) {
+	topo := testTopo(t)
+	clock := &fakeClock{}
+	plane, err := NewPlane(topo, Options{Shards: 4, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := topo.HostAt(w, 0, 0)
+			rep := topo.HostAt((w+1)%4, 1, 1)
+			for i := 0; i < 50; i++ {
+				as, err := plane.SelectReplicaAndPath(flowserver.Request{
+					Client: client, Replicas: []topology.NodeID{rep}, Bits: 1e8})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				plane.FlowFinished(as[0].FlowID)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			plane.PollFrom(clock.Now(), statsBatch(nil))
+		}
+	}()
+	wg.Wait()
+	if n := plane.NumFlows(); n != 0 {
+		t.Errorf("%d flows leaked", n)
+	}
+}

@@ -1,0 +1,489 @@
+package flowctl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/mayflower-dfs/mayflower/internal/flowserver"
+	"github.com/mayflower-dfs/mayflower/internal/topology"
+)
+
+// ShardLink is a coordinator's handle on a remote shard: push the
+// remote half of a flow it is committing, retire it, and pull the
+// remote shard's utilization digest. The in-process plane implements it
+// with direct calls; the deployed form with ctl.* RPCs over
+// internal/rpc sessions.
+type ShardLink interface {
+	// CommitForeign registers links (all owned by the target shard) as
+	// the remote sub-path of flow id, demand capped at capBw. It
+	// returns the share the remote model granted.
+	CommitForeign(id flowserver.FlowID, links topology.Path, bits, capBw float64) (float64, error)
+	// FinishForeign retires the remote sub-path of flow id.
+	FinishForeign(id flowserver.FlowID) error
+	// Digest returns the shard's current utilization digest.
+	Digest() (*Digest, error)
+}
+
+// Shard is one partition of the sharded Flowserver: a full
+// flowserver.Server scoped (by commit discipline, not by construction)
+// to the links of the pods this shard owns, plus the coordinator logic
+// for selections whose requester lives in one of those pods.
+//
+// Locking: selMu serializes coordinator work (a selection must evaluate
+// and commit atomically against this shard's model). The serve-side
+// methods remote shards call — CommitForeignLocal, FinishLocal,
+// BuildDigest — deliberately do NOT take selMu: shard A's coordinator
+// may be committing into shard B while B's coordinator commits into A,
+// and the embedded Server's own lock already makes each call atomic.
+type Shard struct {
+	idx      int
+	nshards  int
+	topo     *topology.Topology
+	srv      *flowserver.Server
+	capacity []float64
+	linkPod  []int
+	now      func() float64
+	met      *Metrics
+
+	// ownMu guards the directory-driven ownership view.
+	ownMu sync.RWMutex
+	owner []int // pod → shard
+	epoch int64
+
+	selMu sync.Mutex
+	peers []ShardLink // by shard index; nil for self and until SetPeers
+	// remote[g] is the latest digest pulled from shard g; view is the
+	// dense merge used to score remote links.
+	remote []*Digest
+	view   []LinkLoad
+	seq    int64
+	// coordinated maps flows this shard coordinated to the remote
+	// shards holding their other half, for fan-out on Finished.
+	coordinated map[flowserver.FlowID][]int
+	localLinks  []topology.LinkID // scratch
+}
+
+// ShardConfig parameterizes one shard.
+type ShardConfig struct {
+	// Index is this shard's slot in [0, Shards).
+	Index int
+	// Shards is the total shard count (the flow-id stride).
+	Shards int
+	// Owner is the initial pod→shard map and Epoch its lease epoch,
+	// both from the directory.
+	Owner []int
+	Epoch int64
+	// DisableImpactTerm / DisableFreeze / Now / MaxPollSkew pass
+	// through to the embedded flowserver (see flowserver.Options).
+	DisableImpactTerm bool
+	DisableFreeze     bool
+	Now               func() float64
+	MaxPollSkew       float64
+	// Metrics receives the shard's flowctl instrumentation; a fresh
+	// unregistered set when nil.
+	Metrics *Metrics
+}
+
+// NewShard creates one shard over the full topology. The embedded
+// server's flow-id sequence is Index+1, Index+1+Shards, … so ids stay
+// globally unique across shards without coordination.
+func NewShard(topo *topology.Topology, cfg ShardConfig) (*Shard, error) {
+	if cfg.Shards < 1 || cfg.Index < 0 || cfg.Index >= cfg.Shards {
+		return nil, fmt.Errorf("flowctl: shard index %d out of range for %d shards", cfg.Index, cfg.Shards)
+	}
+	if len(cfg.Owner) != topo.Config().Pods {
+		return nil, fmt.Errorf("flowctl: owner map covers %d pods, topology has %d", len(cfg.Owner), topo.Config().Pods)
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = NewMetrics()
+	}
+	capacity := make([]float64, topo.NumLinks())
+	for _, l := range topo.Links() {
+		capacity[l.ID] = l.Capacity
+	}
+	s := &Shard{
+		idx:      cfg.Index,
+		nshards:  cfg.Shards,
+		topo:     topo,
+		capacity: capacity,
+		linkPod:  LinkPods(topo),
+		now:      cfg.Now,
+		met:      met,
+		owner:    append([]int(nil), cfg.Owner...),
+		epoch:    cfg.Epoch,
+		peers:    make([]ShardLink, cfg.Shards),
+		remote:   make([]*Digest, cfg.Shards),
+		view:     make([]LinkLoad, topo.NumLinks()),
+
+		coordinated: make(map[flowserver.FlowID][]int),
+	}
+	s.srv = flowserver.New(topo, flowserver.Options{
+		DisableImpactTerm: cfg.DisableImpactTerm,
+		DisableFreeze:     cfg.DisableFreeze,
+		Now:               cfg.Now,
+		MaxPollSkew:       cfg.MaxPollSkew,
+		IDBase:            int64(cfg.Index + 1),
+		IDStride:          int64(cfg.Shards),
+	})
+	return s, nil
+}
+
+// Index returns this shard's slot.
+func (s *Shard) Index() int { return s.idx }
+
+// Server exposes the embedded flowserver (stats ingestion, counters).
+func (s *Shard) Server() *flowserver.Server { return s.srv }
+
+// SetPeers installs the links to the other shards. peers[s.idx] is
+// ignored.
+func (s *Shard) SetPeers(peers []ShardLink) {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	s.peers = append([]ShardLink(nil), peers...)
+}
+
+// SetOwners installs a new pod→shard map under its epoch (a directory
+// failover). Stale epochs are ignored.
+func (s *Shard) SetOwners(owner []int, epoch int64) {
+	s.ownMu.Lock()
+	defer s.ownMu.Unlock()
+	if epoch < s.epoch {
+		return
+	}
+	s.owner = append([]int(nil), owner...)
+	s.epoch = epoch
+}
+
+// OwnsPod reports whether this shard currently owns the pod.
+func (s *Shard) OwnsPod(pod int) bool {
+	s.ownMu.RLock()
+	defer s.ownMu.RUnlock()
+	return pod >= 0 && pod < len(s.owner) && s.owner[pod] == s.idx
+}
+
+// ownerOf returns the shard owning a link's pod.
+func (s *Shard) ownerOf(link topology.LinkID) int {
+	s.ownMu.RLock()
+	defer s.ownMu.RUnlock()
+	return s.owner[s.linkPod[link]]
+}
+
+// candidate is one scored replica/path option of a sharded selection.
+type shardCandidate struct {
+	replica topology.NodeID
+	path    topology.Path
+	cost    float64
+	bw      float64
+	cap     float64 // remote sub-path cap used in the evaluation
+	cross   bool
+}
+
+// evalSharded scores one path: links this shard owns exactly, remote
+// links from the merged digest view. The remote estimate carries no
+// impact term — the completion-time increase of flows another shard
+// models is exactly the information the digest compresses away — which
+// is the bounded-staleness approximation the shard-count sweep
+// quantifies. Caller must hold selMu.
+func (s *Shard) evalSharded(path topology.Path, bits float64) shardCandidate {
+	local := s.localLinks[:0]
+	remoteCap := math.Inf(1)
+	cross := false
+	for _, lid := range path {
+		if s.ownerOf(lid) == s.idx {
+			local = append(local, lid)
+			continue
+		}
+		cross = true
+		if est := ShareEstimate(s.capacity[lid], s.view[lid]); est < remoteCap {
+			remoteCap = est
+		}
+	}
+	s.localLinks = local
+	var cost, bw float64
+	if len(local) > 0 {
+		cost, bw = s.srv.EvalPathCost(local, bits, remoteCap)
+	} else {
+		bw = remoteCap
+		if bw > 0 {
+			cost = bits / bw
+		} else {
+			cost = math.Inf(1)
+		}
+	}
+	return shardCandidate{path: path, cost: cost, bw: bw, cap: remoteCap, cross: cross}
+}
+
+// commitSharded registers the winning candidate: the owned sub-path
+// exactly (allocating the flow id), then the remote sub-path with its
+// owning shard under the same id, capped at the granted share. A
+// remote commit failure (peer dead or unreachable) is counted and
+// tolerated: the flow still runs, the remote model just cannot see it
+// until its counters do — the same blindness background traffic
+// already inflicts. Caller must hold selMu.
+func (s *Shard) commitSharded(c shardCandidate, bits float64) flowserver.Assignment {
+	local := make(topology.Path, 0, len(c.path))
+	remoteLinks := make(map[int]topology.Path)
+	var remoteOrder []int
+	for _, lid := range c.path {
+		g := s.ownerOf(lid)
+		if g == s.idx {
+			local = append(local, lid)
+			continue
+		}
+		if _, ok := remoteLinks[g]; !ok {
+			remoteOrder = append(remoteOrder, g)
+		}
+		remoteLinks[g] = append(remoteLinks[g], lid)
+	}
+	a := s.srv.CommitPath(local, bits, c.cap)
+	if c.cross {
+		s.met.CrossShard.Inc()
+	} else {
+		s.met.PodLocal.Inc()
+	}
+	var committed []int
+	for _, g := range remoteOrder {
+		if d := s.remote[g]; d != nil && s.now != nil {
+			s.met.DigestAge.Observe(s.now() - d.Time)
+		}
+		peer := s.peers[g]
+		if peer == nil {
+			s.met.RemoteCommitErrors.Inc()
+			continue
+		}
+		if _, err := peer.CommitForeign(a.FlowID, remoteLinks[g], bits, a.EstimatedBw); err != nil {
+			s.met.RemoteCommitErrors.Inc()
+			continue
+		}
+		s.met.RemoteCommits.Inc()
+		committed = append(committed, g)
+	}
+	if len(committed) > 0 {
+		s.coordinated[a.FlowID] = committed
+	}
+	return flowserver.Assignment{
+		FlowID:      a.FlowID,
+		Replica:     c.replica,
+		Path:        c.path,
+		Bits:        bits,
+		EstimatedBw: a.EstimatedBw,
+	}
+}
+
+// Select is the sharded SelectReplicaAndPath: joint replica and path
+// selection coordinated by this shard (which must own the client's
+// pod). Multi-replica splits are a single-shard-only optimization —
+// their rollback would have to snapshot two shards atomically — so the
+// sharded path always returns one assignment.
+func (s *Shard) Select(req flowserver.Request) ([]flowserver.Assignment, error) {
+	if len(req.Replicas) == 0 {
+		return nil, flowserver.ErrNoReplicas
+	}
+	if req.Bits < 0 {
+		return nil, fmt.Errorf("flowctl: negative read size %g", req.Bits)
+	}
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	s.met.Selections.Inc()
+
+	// A co-located replica costs nothing; every policy prefers it.
+	for _, r := range req.Replicas {
+		if r == req.Client {
+			return []flowserver.Assignment{{
+				FlowID:      s.srv.AllocFlowID(),
+				Replica:     r,
+				Bits:        req.Bits,
+				EstimatedBw: math.Inf(1),
+			}}, nil
+		}
+	}
+
+	var best shardCandidate
+	found := false
+	evaluated := int64(0)
+	for _, rep := range req.Replicas {
+		if rep == req.Client {
+			continue
+		}
+		for _, path := range s.topo.ShortestPaths(rep, req.Client) {
+			c := s.evalSharded(path, req.Bits)
+			c.replica = rep
+			evaluated++
+			if !found || c.cost < best.cost {
+				best = c
+				found = true
+			}
+		}
+	}
+	s.met.Candidates.Add(evaluated)
+	if !found {
+		return nil, fmt.Errorf("flowctl: no path from any replica to client %d", req.Client)
+	}
+	return []flowserver.Assignment{s.commitSharded(best, req.Bits)}, nil
+}
+
+// SelectPath is the path-only scheduler for a pre-chosen replica.
+func (s *Shard) SelectPath(client, replica topology.NodeID, bits float64) (flowserver.Assignment, error) {
+	as, err := s.Select(flowserver.Request{Client: client, Replicas: []topology.NodeID{replica}, Bits: bits})
+	if err != nil {
+		return flowserver.Assignment{}, err
+	}
+	return as[0], nil
+}
+
+// SelectWrite is the sharded SelectWritePipeline: greedy cheapest-first
+// ordering of the replication fan-out from source, each round scored
+// with evalSharded so later hops see both the local model and the
+// digest view the earlier hops updated locally.
+func (s *Shard) SelectWrite(source topology.NodeID, targets []topology.NodeID, bits float64) ([]flowserver.Assignment, error) {
+	if len(targets) == 0 {
+		return nil, flowserver.ErrNoReplicas
+	}
+	if bits < 0 {
+		return nil, fmt.Errorf("flowctl: negative write size %g", bits)
+	}
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	s.met.Selections.Inc()
+	s.met.WriteSelections.Inc()
+
+	remaining := append([]topology.NodeID(nil), targets...)
+	out := make([]flowserver.Assignment, 0, len(targets))
+	for len(remaining) > 0 {
+		bestIdx, local := -1, false
+		var best shardCandidate
+		evaluated := int64(0)
+		for i, tgt := range remaining {
+			if tgt == source {
+				bestIdx, local = i, true
+				break
+			}
+			for _, path := range s.topo.ShortestPaths(source, tgt) {
+				c := s.evalSharded(path, bits)
+				c.replica = tgt
+				evaluated++
+				if bestIdx < 0 || c.cost < best.cost {
+					best = c
+					bestIdx = i
+				}
+			}
+		}
+		s.met.Candidates.Add(evaluated)
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("flowctl: no path from source %d to targets %v", source, remaining)
+		}
+		if local {
+			out = append(out, flowserver.Assignment{
+				FlowID:      s.srv.AllocFlowID(),
+				Replica:     source,
+				Bits:        bits,
+				EstimatedBw: math.Inf(1),
+			})
+		} else {
+			out = append(out, s.commitSharded(best, bits))
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out, nil
+}
+
+// Finished retires a flow this shard coordinated: its own sub-path and,
+// via the peer links, any remote halves.
+func (s *Shard) Finished(id flowserver.FlowID) {
+	s.srv.FlowFinished(id)
+	s.selMu.Lock()
+	parts := s.coordinated[id]
+	delete(s.coordinated, id)
+	peers := s.peers
+	s.selMu.Unlock()
+	for _, g := range parts {
+		if peers[g] != nil {
+			_ = peers[g].FinishForeign(id) // best effort; counters reconcile
+		}
+	}
+}
+
+// CommitForeignLocal serves a remote coordinator's commit (the target
+// half of ShardLink.CommitForeign). It must not take selMu — see the
+// type comment.
+func (s *Shard) CommitForeignLocal(id flowserver.FlowID, links topology.Path, bits, capBw float64) float64 {
+	return s.srv.CommitForeign(id, links, bits, capBw)
+}
+
+// FinishLocal serves a remote coordinator's finish.
+func (s *Shard) FinishLocal(id flowserver.FlowID) {
+	s.srv.FlowFinished(id)
+}
+
+// BuildDigest snapshots the modeled load of every link this shard owns.
+// It must not take selMu — see the type comment.
+func (s *Shard) BuildDigest(now float64) *Digest {
+	s.ownMu.Lock()
+	s.seq++
+	d := &Digest{Shard: s.idx, Seq: s.seq, Time: now}
+	owner, idx := s.owner, s.idx
+	s.ownMu.Unlock()
+	s.srv.LinkLoads(func(link, flows int, sumBw float64) {
+		if owner[s.linkPod[link]] != idx {
+			return
+		}
+		d.Links = append(d.Links, int32(link))
+		d.Loads = append(d.Loads, LinkLoad{Flows: int32(flows), SumBw: sumBw})
+	})
+	return d
+}
+
+// InstallDigests replaces the remote digest set (one slot per shard;
+// nil entries keep the previous digest — a failed pull just ages the
+// view) and rebuilds the dense scoring view.
+func (s *Shard) InstallDigests(ds []*Digest) {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	for g, d := range ds {
+		if g == s.idx || d == nil {
+			continue
+		}
+		if s.remote[g] == nil || d.Seq >= s.remote[g].Seq {
+			s.remote[g] = d
+		}
+	}
+	live := make([]*Digest, 0, len(s.remote))
+	for g, d := range s.remote {
+		if g != s.idx && d != nil {
+			live = append(live, d)
+		}
+	}
+	s.view = MergeDigests(s.view, s.topo.NumLinks(), live...)
+	s.met.DigestRefreshes.Inc()
+}
+
+// RefreshDigests pulls every live peer's digest and installs the set.
+// Pull failures leave the previous digest in place.
+func (s *Shard) RefreshDigests() {
+	s.selMu.Lock()
+	peers := append([]ShardLink(nil), s.peers...)
+	s.selMu.Unlock()
+	ds := make([]*Digest, len(peers))
+	for g, p := range peers {
+		if g == s.idx || p == nil {
+			continue
+		}
+		if d, err := p.Digest(); err == nil {
+			ds[g] = d
+		}
+	}
+	s.InstallDigests(ds)
+}
+
+// DigestAge returns the age (model seconds) of the digest held for
+// shard g, or ok=false when none has been installed.
+func (s *Shard) DigestAge(g int, now float64) (float64, bool) {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	if g < 0 || g >= len(s.remote) || s.remote[g] == nil {
+		return 0, false
+	}
+	return now - s.remote[g].Time, true
+}

@@ -73,6 +73,14 @@ type Options struct {
 	// histogram under "flowserver." names. Instrumentation is always on
 	// (atomic words only); the registry just makes it visible.
 	Metrics *obs.Registry
+	// IDBase and IDStride partition the flow-id space between cooperating
+	// servers: ids are assigned IDBase, IDBase+IDStride, IDBase+2·IDStride…
+	// The internal/flowctl shards use (k+1, N) so ids stay globally unique
+	// without coordination while every server still assigns strictly
+	// increasing ids (the per-link flow lists rely on that). Zero values
+	// mean the standalone sequence 1, 2, 3, …
+	IDBase   int64
+	IDStride int64
 }
 
 // DefaultMaxPollSkew is the poll-timestamp skew tolerance when
@@ -204,6 +212,7 @@ type Server struct {
 	mu     sync.Mutex
 	clock  float64 // last known time when opts.Now is nil
 	nextID FlowID
+	idStep FlowID
 	flows  map[FlowID]*flowState
 	// linkFlows[l] holds the flows crossing link l, sorted by ascending
 	// id. It is maintained incrementally by commit, FlowFinished and
@@ -238,10 +247,20 @@ func New(topo *topology.Topology, opts Options) *Server {
 	for _, l := range topo.Links() {
 		capacity[l.ID] = l.Capacity
 	}
+	step := FlowID(opts.IDStride)
+	if step <= 0 {
+		step = 1
+	}
+	base := FlowID(opts.IDBase)
+	if base <= 0 {
+		base = 1
+	}
 	s := &Server{
 		topo:      topo,
 		capacity:  capacity,
 		opts:      opts,
+		idStep:    step,
+		nextID:    base - step,
 		flows:     make(map[FlowID]*flowState),
 		linkFlows: make([][]*flowState, topo.NumLinks()),
 	}
@@ -316,7 +335,7 @@ func (s *Server) selectLocked(req Request, allowMulti bool) ([]Assignment, error
 	// A co-located replica costs nothing; every policy prefers it.
 	for _, r := range req.Replicas {
 		if r == req.Client {
-			s.nextID++
+			s.nextID += s.idStep
 			return []Assignment{{
 				FlowID:      s.nextID,
 				Replica:     r,
@@ -413,7 +432,7 @@ func (s *Server) SelectWritePipeline(source topology.NodeID, targets []topology.
 			return nil, fmt.Errorf("flowserver: no path from source %d to targets %v", source, remaining)
 		}
 		if local {
-			s.nextID++
+			s.nextID += s.idStep
 			out = append(out, Assignment{
 				FlowID:      s.nextID,
 				Replica:     source,
@@ -474,6 +493,15 @@ func (s *Server) bestPath(client topology.NodeID, replicas []topology.NodeID, bi
 // evalPath computes the Eq. 2 cost of placing a new flow of the given size
 // on the path (Pseudocode 2, FLOWCOST). Caller must hold s.mu.
 func (s *Server) evalPath(replica topology.NodeID, path topology.Path, bits float64) candidate {
+	return s.evalPathCapped(replica, path, bits, math.Inf(1))
+}
+
+// evalPathCapped is evalPath with the new flow's demand capped at capBw:
+// the share granted by links outside this server's model (a flowctl
+// coordinator passes the bottleneck estimate of the remote sub-path).
+// With capBw = +Inf it is exactly the historical evalPath. Caller must
+// hold s.mu.
+func (s *Server) evalPathCapped(replica topology.NodeID, path topology.Path, bits, capBw float64) candidate {
 	// Estimated share of the new flow: water-fill each link with existing
 	// flows demanding their current share and the new flow demanding
 	// infinity; the path share is the bottleneck minimum (MAXMINSHARE).
@@ -484,6 +512,9 @@ func (s *Server) evalPath(replica topology.NodeID, path topology.Path, bits floa
 		if share < bw {
 			bw = share
 		}
+	}
+	if bw > capBw {
+		bw = capBw
 	}
 
 	cost := 0.0
@@ -586,8 +617,14 @@ func (s *Server) demandsOn(link int) []float64 {
 // to it and to every existing flow whose estimate changed (Pseudocode 1,
 // lines 9-11). Caller must hold s.mu.
 func (s *Server) commit(c candidate, bits float64) Assignment {
-	s.nextID++
-	id := s.nextID
+	s.nextID += s.idStep
+	return s.commitAs(s.nextID, c, bits)
+}
+
+// commitAs registers the candidate under an explicit flow id without
+// touching the id sequence (foreign commits carry the coordinator's id).
+// Caller must hold s.mu.
+func (s *Server) commitAs(id FlowID, c candidate, bits float64) Assignment {
 	links := make([]int, len(c.path))
 	for i, l := range c.path {
 		links[i] = int(l)

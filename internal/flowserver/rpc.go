@@ -64,9 +64,18 @@ type Hooks struct {
 	OnFinish func(id FlowID)
 }
 
+// Service is the selection surface RegisterRPC serves. The standalone
+// *Server implements it, and so do the sharded deployments in
+// internal/flowctl (a whole Plane, or one Shard serving its pods).
+type Service interface {
+	SelectReplicaAndPath(Request) ([]Assignment, error)
+	SelectWritePipeline(source topology.NodeID, targets []topology.NodeID, bits float64) ([]Assignment, error)
+	FlowFinished(FlowID)
+}
+
 // RegisterRPC exposes a Flowserver on a wire server, resolving host names
 // against the topology.
-func RegisterRPC(srv *wire.Server, fs *Server, topo *topology.Topology, hooks Hooks) error {
+func RegisterRPC(srv *wire.Server, fs Service, topo *topology.Topology, hooks Hooks) error {
 	hostByName := make(map[string]topology.NodeID, topo.NumHosts())
 	nameByHost := make(map[topology.NodeID]string, topo.NumHosts())
 	for _, h := range topo.Hosts() {

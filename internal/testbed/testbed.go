@@ -29,11 +29,13 @@ import (
 	"github.com/mayflower-dfs/mayflower/internal/dataserver"
 	"github.com/mayflower-dfs/mayflower/internal/emunet"
 	"github.com/mayflower-dfs/mayflower/internal/fabric"
+	"github.com/mayflower-dfs/mayflower/internal/flowctl"
 	"github.com/mayflower-dfs/mayflower/internal/flowserver"
 	"github.com/mayflower-dfs/mayflower/internal/hdfsbaseline"
 	"github.com/mayflower-dfs/mayflower/internal/kvstore"
 	"github.com/mayflower-dfs/mayflower/internal/nameserver"
 	"github.com/mayflower-dfs/mayflower/internal/obs"
+	"github.com/mayflower-dfs/mayflower/internal/rpc"
 	"github.com/mayflower-dfs/mayflower/internal/sdn"
 	"github.com/mayflower-dfs/mayflower/internal/selection"
 	"github.com/mayflower-dfs/mayflower/internal/topology"
@@ -109,15 +111,28 @@ type Cluster struct {
 	statsInterval time.Duration
 	fs            *flowserver.Server
 	fsAddr        string
-	nsSvc         *nameserver.Service
-	nsStore       *kvstore.Store
-	nsSrv         *wire.Server
-	nsAddr        string
-	fsSrv         *wire.Server
-	servers       map[string]*dataserver.Server // host name → dataserver
-	serverIDs     map[topology.NodeID]string    // host node → server id
-	workDir       string
-	ownWorkDir    bool
+
+	// Sharded control plane (ClusterConfig.FlowShards > 1): one flowctl
+	// shard per wire endpoint, a shard directory, and the pool carrying
+	// shard-to-shard ctl.* traffic. fs stays nil in this mode.
+	flowShards []*flowctl.Shard
+	shardSrvs  []*wire.Server
+	shardAddrs []string
+	flowDir    *flowctl.Directory
+	dirSrv     *wire.Server
+	dirAddr    string
+	shardPool  *rpc.Pool
+	shardMu    sync.Mutex
+	shardDead  []bool
+	nsSvc      *nameserver.Service
+	nsStore    *kvstore.Store
+	nsSrv      *wire.Server
+	nsAddr     string
+	fsSrv      *wire.Server
+	servers    map[string]*dataserver.Server // host name → dataserver
+	serverIDs  map[topology.NodeID]string    // host node → server id
+	workDir    string
+	ownWorkDir bool
 
 	pollStop chan struct{}
 	pollDone chan struct{}
@@ -157,6 +172,12 @@ type ClusterConfig struct {
 	Seed int64
 	// MultiReplica enables §4.3 split reads (ModeMayflower only).
 	MultiReplica bool
+	// FlowShards partitions the Flowserver into N flowctl shards, each
+	// serving its own RPC endpoint, with a shard directory that clients
+	// and dataservers resolve pod ownership through (epoch-checked
+	// re-routing). 0 or 1 keeps the monolithic Flowserver; only the
+	// flow-scheduled modes use it. Incompatible with MultiReplica.
+	FlowShards int
 	// HeartbeatInterval is how often dataservers report liveness
 	// (dataserver default if zero). Fault-injection tests shrink it so
 	// death detection fits in test time.
@@ -287,33 +308,29 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 
 	// Flowserver (controller application), for the modes that use it.
 	if c.mode == ModeMayflower || c.mode == ModeHDFSMayflower {
-		c.fs = flowserver.New(c.Topo, flowserver.Options{
-			MultiReplica: cfg.MultiReplica && c.mode == ModeMayflower,
-			Now:          c.nowSeconds,
-			Metrics:      c.reg,
-		})
-		c.fsSrv = wire.NewServer()
-		hooks := flowserver.Hooks{
-			OnAssign: func(a flowserver.Assignment) {
-				_ = c.admit.RegisterFlow(uint64(a.FlowID), a.Path)
-				c.trackFlow(a.FlowID, true)
-				c.installRules(a)
-			},
-			OnFinish: func(id flowserver.FlowID) {
-				c.admit.UnregisterFlow(uint64(id))
-				c.trackFlow(id, false)
-			},
+		if cfg.FlowShards > 1 {
+			if err := c.bootShardedFlowplane(cfg); err != nil {
+				return err
+			}
+			go c.pollLoop(c.statsInterval)
+		} else {
+			c.fs = flowserver.New(c.Topo, flowserver.Options{
+				MultiReplica: cfg.MultiReplica && c.mode == ModeMayflower,
+				Now:          c.nowSeconds,
+				Metrics:      c.reg,
+			})
+			c.fsSrv = wire.NewServer()
+			if err := flowserver.RegisterRPC(c.fsSrv, c.fs, c.Topo, c.flowHooks()); err != nil {
+				return err
+			}
+			fsLn, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go c.fsSrv.Serve(fsLn) //nolint:errcheck // Serve returns on Close
+			c.fsAddr = fsLn.Addr().String()
+			go c.pollLoop(c.statsInterval)
 		}
-		if err := flowserver.RegisterRPC(c.fsSrv, c.fs, c.Topo, hooks); err != nil {
-			return err
-		}
-		fsLn, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		go c.fsSrv.Serve(fsLn) //nolint:errcheck // Serve returns on Close
-		c.fsAddr = fsLn.Addr().String()
-		go c.pollLoop(c.statsInterval)
 	} else {
 		close(c.pollDone)
 		c.ecmp = selection.NewECMP(c.Topo)
@@ -335,6 +352,9 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 			// Empty for the ECMP modes: relays fall back to static order,
 			// the conventional unscheduled write path.
 			FlowserverAddr: c.fsAddr,
+			// Sharded control plane: the primary resolves the shard owning
+			// its pod through the directory (fsAddr stays empty).
+			FlowDirectoryAddr: c.dirAddr,
 		})
 		if err != nil {
 			return err
@@ -364,6 +384,103 @@ func (c *Cluster) boot(cfg ClusterConfig) error {
 // pacing even under a compressed clock.
 func (c *Cluster) nowSeconds() float64 { return c.clock.Now() }
 
+// flowHooks bridges selection commits into the emulated fabric and the
+// switches' flow tables; shared by the monolithic server and every
+// shard (a cross-shard selection still returns one full-path assignment
+// from its coordinator, so each flow registers exactly once).
+func (c *Cluster) flowHooks() flowserver.Hooks {
+	return flowserver.Hooks{
+		OnAssign: func(a flowserver.Assignment) {
+			_ = c.admit.RegisterFlow(uint64(a.FlowID), a.Path)
+			c.trackFlow(a.FlowID, true)
+			c.installRules(a)
+		},
+		OnFinish: func(id flowserver.FlowID) {
+			c.admit.UnregisterFlow(uint64(id))
+			c.trackFlow(id, false)
+		},
+	}
+}
+
+// bootShardedFlowplane boots cfg.FlowShards flowctl shards, each with
+// its own wire endpoint (fs.* selection surface plus the ctl.* peer
+// channel), a shard directory endpoint, and the RPC links shards pull
+// each other's digests over. Everything crosses loopback TCP, as the
+// testbed ethos demands.
+func (c *Cluster) bootShardedFlowplane(cfg ClusterConfig) error {
+	if cfg.MultiReplica {
+		return errors.New("testbed: MultiReplica needs a single flow shard (§4.3 splitting is not partitioned)")
+	}
+	n := cfg.FlowShards
+	dir, err := flowctl.NewDirectory(c.Topo.Config().Pods, n)
+	if err != nil {
+		return err
+	}
+	c.flowDir = dir
+	c.dirSrv = wire.NewServer()
+	if err := flowctl.RegisterDirectoryRPC(c.dirSrv, dir, c.nowSeconds); err != nil {
+		return err
+	}
+	dirLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go c.dirSrv.Serve(dirLn) //nolint:errcheck // Serve returns on Close
+	c.dirAddr = dirLn.Addr().String()
+
+	c.shardPool = rpc.NewPool(rpc.Options{})
+	met := flowctl.NewMetrics()
+	if c.reg != nil {
+		met.Register(c.reg)
+	}
+	owner, epoch := dir.Owners()
+	c.shardDead = make([]bool, n)
+	for k := 0; k < n; k++ {
+		s, err := flowctl.NewShard(c.Topo, flowctl.ShardConfig{
+			Index:   k,
+			Shards:  n,
+			Owner:   owner,
+			Epoch:   epoch,
+			Now:     c.nowSeconds,
+			Metrics: met,
+		})
+		if err != nil {
+			return err
+		}
+		srv := wire.NewServer()
+		if err := flowserver.RegisterRPC(srv, s, c.Topo, c.flowHooks()); err != nil {
+			return err
+		}
+		if err := flowctl.RegisterShardRPC(srv, s, c.nowSeconds); err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+		c.flowShards = append(c.flowShards, s)
+		c.shardSrvs = append(c.shardSrvs, srv)
+		c.shardAddrs = append(c.shardAddrs, ln.Addr().String())
+		// Register the endpoint under an effectively unbounded lease:
+		// the testbed kills shards explicitly (KillFlowShard), it does
+		// not simulate silent heartbeat loss.
+		if _, err := dir.Heartbeat(k, ln.Addr().String(), c.nowSeconds(), 1e18); err != nil {
+			return err
+		}
+	}
+	for k, s := range c.flowShards {
+		links := make([]flowctl.ShardLink, n)
+		for j := 0; j < n; j++ {
+			if j != k {
+				links[j] = flowctl.NewRPCShardLink(c.shardPool.Peer(c.shardAddrs[j]), nil)
+			}
+		}
+		s.SetPeers(links)
+	}
+	return nil
+}
+
 // installRules pushes the assignment's path into the switches' flow
 // tables (each switch on the path forwards the flow out of the next
 // link's port).
@@ -389,8 +506,33 @@ func (c *Cluster) pollLoop(interval time.Duration) {
 			return
 		case <-ticker.C:
 		}
-		c.fs.PollFrom(c.nowSeconds(), c)
+		if c.fs != nil {
+			c.fs.PollFrom(c.nowSeconds(), c)
+		} else {
+			c.pollShards(c.nowSeconds())
+		}
 		c.auditDrift()
+	}
+}
+
+// pollShards runs one stats cycle of the sharded plane: every live
+// shard ingests the poll batch, then pulls its peers' digests over the
+// ctl.* links in shard-index order — the cadence that bounds cross-pod
+// staleness to one poll interval.
+func (c *Cluster) pollShards(now float64) {
+	batch := c.FlowStats()
+	c.shardMu.Lock()
+	dead := append([]bool(nil), c.shardDead...)
+	c.shardMu.Unlock()
+	for k, s := range c.flowShards {
+		if !dead[k] {
+			s.Server().UpdateFlowStats(now, batch)
+		}
+	}
+	for k, s := range c.flowShards {
+		if !dead[k] {
+			s.RefreshDigests()
+		}
 	}
 }
 
@@ -423,13 +565,23 @@ func (c *Cluster) auditDrift() {
 	}
 	c.trackMu.Unlock()
 	for _, id := range ids {
-		est, ok := c.fs.EstimatedBW(id)
+		est, ok := c.estimatedBW(id)
 		if !ok {
 			continue
 		}
 		truth, _ := c.Net.FlowRate(uint64(id))
 		c.audit.Record(est, truth)
 	}
+}
+
+// estimatedBW asks the model tracking a flow for its current estimate:
+// the monolithic server, or the flow-id-striped coordinator shard.
+func (c *Cluster) estimatedBW(id flowserver.FlowID) (float64, bool) {
+	if c.fs != nil {
+		return c.fs.EstimatedBW(id)
+	}
+	k := int((int64(id) - 1) % int64(len(c.flowShards)))
+	return c.flowShards[k].Server().EstimatedBW(id)
 }
 
 // FlowStats implements flowserver.StatsSource by querying the edge
@@ -464,8 +616,54 @@ func (c *Cluster) FlowStats() []flowserver.FlowStat {
 // NameserverAddr returns the nameserver's RPC address.
 func (c *Cluster) NameserverAddr() string { return c.nsAddr }
 
-// FlowserverAddr returns the Flowserver's RPC address ("" for ECMP mode).
+// FlowserverAddr returns the Flowserver's RPC address ("" for ECMP mode
+// and for the sharded plane, which routes through the directory).
 func (c *Cluster) FlowserverAddr() string { return c.fsAddr }
+
+// FlowDirectoryAddr returns the shard directory's RPC address ("" unless
+// the cluster booted with FlowShards > 1).
+func (c *Cluster) FlowDirectoryAddr() string { return c.dirAddr }
+
+// NumFlowShards returns the sharded plane's shard count (0 when the
+// cluster runs the monolithic Flowserver).
+func (c *Cluster) NumFlowShards() int { return len(c.flowShards) }
+
+// FlowShard exposes shard k for test assertions.
+func (c *Cluster) FlowShard(k int) *flowctl.Shard { return c.flowShards[k] }
+
+// FlowDirectory exposes the shard directory for test assertions.
+func (c *Cluster) FlowDirectory() *flowctl.Directory { return c.flowDir }
+
+// KillFlowShard abruptly stops flow shard k — its wire endpoint closes
+// mid-conversation for any in-flight callers — and marks it dead in the
+// directory, which promotes its pods to the next live shard under a
+// bumped epoch. Surviving shards adopt the new ownership map at once;
+// clients and dataservers discover it when their cached routes fail or
+// their TTLs lapse. The shard stays down for the cluster's lifetime.
+func (c *Cluster) KillFlowShard(k int) error {
+	if k < 0 || k >= len(c.flowShards) {
+		return fmt.Errorf("testbed: no flow shard %d", k)
+	}
+	c.shardMu.Lock()
+	if c.shardDead[k] {
+		c.shardMu.Unlock()
+		return fmt.Errorf("testbed: flow shard %d already dead", k)
+	}
+	c.shardDead[k] = true
+	c.shardMu.Unlock()
+	c.shardSrvs[k].Close()
+	epoch, changed := c.flowDir.MarkDead(k)
+	if !changed {
+		return nil
+	}
+	owner, _ := c.flowDir.Owners()
+	for j, s := range c.flowShards {
+		if j != k {
+			s.SetOwners(owner, epoch)
+		}
+	}
+	return nil
+}
 
 // ServerID returns the dataserver id running on a topology host.
 func (c *Cluster) ServerID(h topology.NodeID) string { return c.serverIDs[h] }
@@ -509,8 +707,10 @@ func (c *Cluster) clientOptionsLocked(name string) client.Options {
 	switch c.mode {
 	case ModeMayflower:
 		opts.FlowserverAddr = c.fsAddr
+		opts.FlowDirectoryAddr = c.dirAddr
 	case ModeHDFSMayflower:
 		opts.FlowserverAddr = c.fsAddr
+		opts.FlowDirectoryAddr = c.dirAddr
 		opts.PickReplica = hdfsbaseline.RackAwarePicker(name, hdfsbaseline.NameLocator, opts.Rand)
 	case ModeHDFSECMP:
 		opts.PickReplica = hdfsbaseline.RackAwarePicker(name, hdfsbaseline.NameLocator, opts.Rand)
@@ -617,7 +817,7 @@ func (c *Cluster) Close() error {
 	clients = append(clients, c.extra...)
 	c.mu.Unlock()
 
-	if c.fs != nil {
+	if c.fs != nil || len(c.flowShards) > 0 {
 		close(c.pollStop)
 		<-c.pollDone
 	}
@@ -632,6 +832,19 @@ func (c *Cluster) Close() error {
 	}
 	if c.fsSrv != nil {
 		c.fsSrv.Close()
+	}
+	c.shardMu.Lock()
+	for k, srv := range c.shardSrvs {
+		if !c.shardDead[k] {
+			srv.Close()
+		}
+	}
+	c.shardMu.Unlock()
+	if c.dirSrv != nil {
+		c.dirSrv.Close()
+	}
+	if c.shardPool != nil {
+		c.shardPool.Close()
 	}
 	if c.nsSrv != nil {
 		c.nsSrv.Close()
